@@ -1,0 +1,82 @@
+"""A2 (ablation): taint-tracking overhead by operator family.
+
+The frontend's +14 % page cost (E1) is the sum of many small labeled
+operations; this ablation prices each family — concatenation, %
+formatting, template rendering, regex matching, JSON encoding,
+arithmetic — labeled vs plain.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.timing import measure_latency, overhead_percent
+from repro.core.labels import LabelSet
+from repro.mdt.labels import mdt_label
+from repro.taint import LabeledInt, LabeledStr, json_codec, regex
+from repro.web.templates import Template
+
+LABELS = LabelSet([mdt_label("1")])
+PLAIN_NAME = "alice example-patient"
+LABELED_NAME = LabeledStr(PLAIN_NAME, labels=LABELS)
+PLAIN_TEMPLATE = "patient: %s, again: %s"
+LABELED_TEMPLATE = LabeledStr(PLAIN_TEMPLATE)
+ERB = Template("<% for item in items %><li><%= item %></li><% end %>")
+PLAIN_ITEMS = [PLAIN_NAME] * 10
+LABELED_ITEMS = [LABELED_NAME] * 10
+
+FAMILIES = {
+    "concatenation": (
+        lambda: PLAIN_NAME + "-" + PLAIN_NAME,
+        lambda: LABELED_NAME + "-" + LABELED_NAME,
+    ),
+    "percent formatting": (
+        lambda: PLAIN_TEMPLATE % (PLAIN_NAME, PLAIN_NAME),
+        lambda: LABELED_TEMPLATE % (LABELED_NAME, LABELED_NAME),
+    ),
+    "template rendering": (
+        lambda: ERB.render(items=PLAIN_ITEMS),
+        lambda: ERB.render(items=LABELED_ITEMS),
+    ),
+    "regex group extraction": (
+        lambda: __import__("re").match(r"(\w+) (.*)", PLAIN_NAME).group(1),
+        lambda: regex.match(r"(\w+) (.*)", LABELED_NAME).group(1),
+    ),
+    "json encoding": (
+        lambda: __import__("json").dumps({"name": PLAIN_NAME, "n": 3}),
+        lambda: json_codec.dumps({"name": LABELED_NAME, "n": LabeledInt(3, labels=LABELS)}),
+    ),
+    "integer arithmetic": (
+        lambda: (37 * 100) / 40,
+        lambda: (LabeledInt(37, labels=LABELS) * 100) / LabeledInt(40, labels=LABELS),
+    ),
+}
+
+
+def test_labeled_concat(benchmark):
+    benchmark(FAMILIES["concatenation"][1])
+
+
+def test_labeled_template(benchmark):
+    benchmark(FAMILIES["template rendering"][1])
+
+
+def test_labeled_json(benchmark):
+    benchmark(FAMILIES["json encoding"][1])
+
+
+def test_a2_report(benchmark, report):
+    rows = []
+    for family, (plain_op, labeled_op) in FAMILIES.items():
+        plain = measure_latency(plain_op, iterations=2000, warmup=100)
+        labeled = measure_latency(labeled_op, iterations=2000, warmup=100)
+        rows.append(
+            (
+                family,
+                f"{plain.mean * 1e6:.2f} µs",
+                f"{labeled.mean * 1e6:.2f} µs",
+                f"+{overhead_percent(plain.mean, labeled.mean):.0f}%",
+            )
+        )
+    benchmark(FAMILIES["concatenation"][1])
+    report(
+        "A2 — taint-tracking overhead by operator family\n"
+        + format_table(("operation", "plain", "labeled", "overhead"), rows)
+    )

@@ -1,0 +1,81 @@
+"""A3 (ablation): IFC jail and labelled-store overhead.
+
+Prices the isolation machinery of §4.3 piece by piece: containment
+entry/exit, the audit-hook tax on allowed operations, scope isolation at
+registration, and labelled store reads/writes.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.timing import measure_latency, overhead_percent
+from repro.core.labels import LabelSet
+from repro.core.principals import UnitPrincipal
+from repro.core.privileges import PrivilegeSet
+from repro.events.context import LabelContext
+from repro.events.jail import Jail, isolate_callback
+from repro.events.store import LabeledStore
+from repro.mdt.labels import mdt_label
+
+JAIL = Jail()
+LABELS = LabelSet([mdt_label("1")])
+
+
+def _work():
+    return sum(range(50))
+
+
+def _work_jailed():
+    with JAIL.contained():
+        return sum(range(50))
+
+
+def test_containment_entry_exit(benchmark):
+    benchmark(_work_jailed)
+
+
+def test_isolation_clone_cost(benchmark):
+    state = {"n": 0}
+
+    def handler(event):
+        return state["n"]
+
+    benchmark(lambda: isolate_callback(handler))
+
+
+def test_labeled_store_write(benchmark):
+    store = LabeledStore(UnitPrincipal("bench", privileges=PrivilegeSet.empty()))
+    with LabelContext(LABELS):
+        benchmark(lambda: store.set("key", {"rows": [1, 2, 3]}))
+
+
+def test_a3_report(benchmark, report):
+    plain = measure_latency(_work, iterations=3000, warmup=200)
+    jailed = measure_latency(_work_jailed, iterations=3000, warmup=200)
+
+    store = LabeledStore(UnitPrincipal("bench", privileges=PrivilegeSet.empty()))
+    with LabelContext(LABELS):
+        store.set("key", {"rows": [1, 2, 3]})
+        write = measure_latency(lambda: store.set("key", {"rows": [1, 2, 3]}), iterations=2000)
+        read = measure_latency(lambda: store.get("key"), iterations=2000)
+
+    def handler(event):
+        return event
+
+    clone = measure_latency(lambda: isolate_callback(handler), iterations=1000)
+    benchmark(_work_jailed)
+
+    report(
+        "A3 — jail and labelled-store overhead\n"
+        + format_table(
+            ("operation", "mean"),
+            [
+                ("50-iteration loop, unjailed", f"{plain.mean * 1e6:.2f} µs"),
+                ("50-iteration loop, jailed", f"{jailed.mean * 1e6:.2f} µs"),
+                ("containment overhead", f"+{overhead_percent(plain.mean, jailed.mean):.0f}%"),
+                ("isolate_callback (at registration)", f"{clone.mean * 1e6:.2f} µs"),
+                ("labelled store write", f"{write.mean * 1e6:.2f} µs"),
+                ("labelled store read", f"{read.mean * 1e6:.2f} µs"),
+            ],
+        )
+    )
+    # Containment is per-callback, so it must be cheap relative to real work.
+    assert jailed.mean < plain.mean * 20

@@ -1,0 +1,60 @@
+"""E1 (paper §5.3): front-page generation time with/without taint tracking.
+
+Paper: 1000 requests against the MDT front page; page generation rises
+from 158 ms to 180 ms (+14 %) with SafeWeb's taint tracking library.
+
+Shape expectations here: the protected page costs more than the baseline,
+and the overhead stays within the "low tens of percent" band rather than
+integer factors.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.timing import measure_latency, overhead_percent
+
+PAPER_BASELINE_MS = 158.0
+PAPER_PROTECTED_MS = 180.0
+PAPER_OVERHEAD = overhead_percent(PAPER_BASELINE_MS, PAPER_PROTECTED_MS)
+
+ITERATIONS = 300
+
+
+def test_page_generation_baseline(benchmark, baseline_deployment):
+    client = baseline_deployment.client_for("mdt1")
+    result = benchmark(lambda: client.get("/"))
+    assert result.ok
+
+
+def test_page_generation_with_taint_tracking(benchmark, protected_deployment):
+    client = protected_deployment.client_for("mdt1")
+    result = benchmark(lambda: client.get("/"))
+    assert result.ok
+
+
+def test_e1_report(benchmark, protected_deployment, baseline_deployment, report):
+    protected_client = protected_deployment.client_for("mdt1")
+    baseline_client = baseline_deployment.client_for("mdt1")
+
+    baseline = measure_latency(lambda: baseline_client.get("/"), iterations=ITERATIONS)
+    protected = measure_latency(lambda: protected_client.get("/"), iterations=ITERATIONS)
+    benchmark.extra_info["baseline_ms"] = baseline.mean_ms
+    benchmark.extra_info["protected_ms"] = protected.mean_ms
+    benchmark(lambda: protected_client.get("/"))
+
+    overhead = overhead_percent(baseline.mean, protected.mean)
+    report(
+        "E1 — front-page generation (paper: 158 ms -> 180 ms, +14%)\n"
+        + format_table(
+            ("variant", "paper", "measured mean", "ci95"),
+            [
+                ("without taint tracking", f"{PAPER_BASELINE_MS:.0f} ms",
+                 f"{baseline.mean_ms:.3f} ms", f"±{baseline.ci95_relative*100:.1f}%"),
+                ("with taint tracking", f"{PAPER_PROTECTED_MS:.0f} ms",
+                 f"{protected.mean_ms:.3f} ms", f"±{protected.ci95_relative*100:.1f}%"),
+                ("overhead", f"+{PAPER_OVERHEAD:.0f}%", f"+{overhead:.1f}%", ""),
+            ],
+        )
+    )
+
+    # Shape: enforcement costs something, but not integer factors.
+    assert protected.mean > baseline.mean
+    assert overhead < 100.0, "taint tracking should not multiply page cost"

@@ -1,0 +1,50 @@
+"""E6 (paper §5.2): trusted-codebase accounting.
+
+Paper: the taint tracking library is 1943 LOC and the event processing
+engine 1908 LOC (audited once); per-application trusted code is the two
+privileged units (138 LOC) + frontend privilege assignment (142 LOC),
+while the remaining 2841 LOC of the MDT application need no audit.
+
+Shape expectations: the middleware is audited once and is of the same
+order as the paper's components; the application-trusted slice is a
+small fraction of the application code whose bugs SafeWeb contains.
+"""
+
+from repro.bench.loc_audit import audit_repository
+from repro.bench.reporting import format_table
+
+PAPER_ROWS = [
+    ("middleware (audited once)", "taint tracking library", 1943),
+    ("middleware (audited once)", "event processing engine", 1908),
+    ("application trusted", "privileged units", 138),
+    ("application trusted", "privilege assignment (frontend)", 142),
+    ("application untrusted", "rest of the MDT application", 2841),
+]
+
+
+def test_e6_loc_audit(benchmark, report):
+    inventory = benchmark.pedantic(audit_repository, rounds=1, iterations=1)
+
+    rows = [(category, name, str(loc)) for category, name, loc in inventory.rows()]
+    rows.append(("TOTAL middleware", "", str(inventory.middleware_total)))
+    rows.append(("TOTAL application trusted", "", str(inventory.trusted_application_total)))
+    rows.append(("TOTAL application untrusted", "", str(inventory.untrusted_application_total)))
+    paper_rows = [(c, n, str(l)) for c, n, l in PAPER_ROWS]
+
+    report(
+        "E6 — trusted codebase (paper accounting)\n"
+        + format_table(("category", "component", "LOC"), paper_rows)
+        + "\n\nE6 — trusted codebase (this repository)\n"
+        + format_table(("category", "component", "LOC"), rows)
+        + f"\n\naudit-scope reduction: the {inventory.untrusted_application_total} untrusted "
+        f"application LOC need no security audit; only "
+        f"{inventory.trusted_application_total} application LOC remain trusted "
+        f"({inventory.audit_reduction_ratio:.1f}x reduction)."
+    )
+
+    # The application-trusted slice must be small relative to the
+    # application code SafeWeb absolves from auditing (paper: 280 vs 2841).
+    assert inventory.trusted_application_total < inventory.untrusted_application_total
+    # Middleware components exist and are non-trivial.
+    assert inventory.middleware["taint tracking library"] > 300
+    assert inventory.middleware["event processing engine"] > 300

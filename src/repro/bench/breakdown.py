@@ -1,0 +1,176 @@
+"""The Figure 5 latency breakdown (experiment E3).
+
+The paper decomposes per-request/per-event latency into components:
+
+* frontend (180 ms total): authentication 87 ms, privilege fetching
+  3 ms, template rendering 63 ms, label propagation 17 ms, other 10 ms;
+* backend (84 ms total): event processing 51 ms, data (de)serialisation
+  20 ms, label management 13 ms.
+
+Our substrate is in-process CPython rather than the paper's full Ruby
+stack, so absolute values are far smaller; what must reproduce is the
+*structure* — which components exist and which dominate. The harness
+measures each component on the real MDT deployment:
+
+* frontend components come from the middleware/portal instrumentation
+  (``request.env["safeweb.timings"]``); *label propagation* is isolated
+  by rendering the same page with label tracking on and off;
+* backend components are measured around the real pipeline: processing
+  (callback bodies with enforcement disabled), serialisation (the STOMP
+  frame codec on real events) and label management (the delta when
+  enforcement is enabled).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bench.timing import mean_of
+from repro.events.stomp.frames import FrameParser, encode_frame
+from repro.events.stomp.server import event_to_message
+from repro.mdt.deployment import MdtDeployment
+from repro.mdt.workload import WorkloadConfig
+from repro.web.middleware import TIMINGS_KEY
+
+#: Paper values, milliseconds (Figure 5).
+PAPER_FRONTEND_BREAKDOWN: Dict[str, float] = {
+    "authentication": 87.0,
+    "privilege_fetching": 3.0,
+    "template_rendering": 63.0,
+    "label_propagation": 17.0,
+    "other": 10.0,
+}
+PAPER_BACKEND_BREAKDOWN: Dict[str, float] = {
+    "event_processing": 51.0,
+    "serialisation": 20.0,
+    "label_management": 13.0,
+}
+
+
+@dataclass
+class Breakdown:
+    """Measured per-component times (milliseconds) plus the total."""
+
+    components: Dict[str, float]
+    total_ms: float
+
+    def share(self, component: str) -> float:
+        if self.total_ms == 0:
+            return 0.0
+        return self.components.get(component, 0.0) / self.total_ms
+
+
+def frontend_breakdown(iterations: int = 50) -> Breakdown:
+    """Measure the frontend components on the MDT front page."""
+    config = WorkloadConfig(num_regions=2, mdts_per_region=2, patients_per_mdt=10, seed=3)
+    protected = MdtDeployment(config=config)
+    protected.run_pipeline()
+    baseline = MdtDeployment(
+        config=config, check_labels=False, isolation=False, label_events=False
+    )
+    baseline.run_pipeline()
+
+    client = protected.client_for("mdt1")
+    baseline_client = baseline.client_for("mdt1")
+
+    auth_times, privilege_times, template_times, check_times, totals = [], [], [], [], []
+    baseline_template_times = []
+
+    for _ in range(iterations):
+        started = time.perf_counter()
+        result = client.get("/")
+        totals.append(time.perf_counter() - started)
+        assert result.ok
+        timings = _request_timings(client)
+        auth_times.append(timings.get("authentication", 0.0))
+        privilege_times.append(timings.get("privilege_fetching", 0.0))
+        template_times.append(timings.get("template_rendering", 0.0))
+        check_times.append(timings.get("label_check", 0.0))
+
+        baseline_result = baseline_client.get("/")
+        assert baseline_result.ok
+        baseline_timings = _request_timings(baseline_client)
+        baseline_template_times.append(baseline_timings.get("template_rendering", 0.0))
+
+    # Label propagation = extra template time under tracking + the
+    # response-time check itself.
+    label_propagation = max(
+        0.0, mean_of(template_times) - mean_of(baseline_template_times)
+    ) + mean_of(check_times)
+    components = {
+        "authentication": mean_of(auth_times) * 1000,
+        "privilege_fetching": mean_of(privilege_times) * 1000,
+        "template_rendering": mean_of(baseline_template_times) * 1000,
+        "label_propagation": label_propagation * 1000,
+    }
+    total_ms = mean_of(totals) * 1000
+    components["other"] = max(0.0, total_ms - sum(components.values()))
+    return Breakdown(components=components, total_ms=total_ms)
+
+
+def _request_timings(client) -> Dict[str, float]:
+    if client.last_request is None:
+        return {}
+    return client.last_request.env.get(TIMINGS_KEY, {})
+
+
+def backend_breakdown(iterations: int = 200) -> Breakdown:
+    """Measure the backend components over the real event pipeline."""
+    config = WorkloadConfig(num_regions=1, mdts_per_region=2, patients_per_mdt=10, seed=5)
+
+    # Event processing: full pipeline with enforcement off.
+    plain = MdtDeployment(
+        config=config,
+        isolation=False,
+        label_checks_in_broker=False,
+        check_labels=False,
+        label_events=False,
+    )
+    processing_times = []
+    for _ in range(max(1, iterations // 50)):
+        started = time.perf_counter()
+        plain.import_data()
+        plain.aggregate()
+        events = plain.producer.events_published
+        processing_times.append((time.perf_counter() - started) / max(1, events))
+
+    # Enforcement on: the delta is label management (jail + checks).
+    protected = MdtDeployment(config=config)
+    enforced_times = []
+    for _ in range(max(1, iterations // 50)):
+        started = time.perf_counter()
+        protected.import_data()
+        protected.aggregate()
+        events = protected.producer.events_published
+        enforced_times.append((time.perf_counter() - started) / max(1, events))
+
+    # Serialisation: STOMP-encode and decode real events.
+    from repro.core.labels import LabelSet
+    from repro.events.event import Event
+    from repro.mdt.labels import mdt_label
+
+    sample = Event(
+        "/patient_report",
+        next(plain.main_db.case_records()).to_attributes(),
+        labels=LabelSet([mdt_label("1")]),
+    )
+    serialisation_times = []
+    parser = FrameParser()
+    for _ in range(iterations):
+        started = time.perf_counter()
+        wire = encode_frame(event_to_message(sample, "sub-1"))
+        parser.feed(wire)
+        serialisation_times.append(time.perf_counter() - started)
+
+    processing_ms = mean_of(processing_times) * 1000
+    enforced_ms = mean_of(enforced_times) * 1000
+    serialisation_ms = mean_of(serialisation_times) * 1000
+    label_management_ms = max(0.0, enforced_ms - processing_ms)
+    components = {
+        "event_processing": processing_ms,
+        "serialisation": serialisation_ms,
+        "label_management": label_management_ms,
+    }
+    return Breakdown(components=components, total_ms=sum(components.values()))

@@ -1,0 +1,139 @@
+"""Calibrated Figure 5 mode: paper-scale service times, measured labels.
+
+The raw breakdown (:mod:`repro.bench.breakdown`) measures our in-process
+substrate, where every component is orders of magnitude cheaper than on
+the paper's 2011 Ruby stack. This module provides the complementary
+view promised in DESIGN.md: the *environment-bound* components
+(authentication, privilege fetching, template base cost, "other") are
+pinned to the paper's service times with busy-waits, while the
+*label-related* work — the part this reproduction actually implements —
+runs for real on a page of labelled records. The resulting breakdown is
+directly comparable to Figure 5: pinned components match by
+construction (which the harness states openly), and the measured label
+share shows where our tracking lands against the paper's 17 ms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.core.labels import LabelSet
+from repro.core.privileges import PrivilegeSet
+from repro.mdt.labels import mdt_label
+from repro.taint import label as label_value
+from repro.web.templates import Template
+
+
+@dataclass(frozen=True)
+class FrontendDelays:
+    """Pinned service times (ms) for the environment-bound components."""
+
+    authentication: float = 87.0
+    privilege_fetching: float = 3.0
+    template_rendering: float = 63.0
+    other: float = 10.0
+
+
+PAGE_TEMPLATE = Template(
+    """<html><body><table>
+<% for record in records %>
+<tr><td><%= record["name"] %></td><td><%= record["stage"] %></td>
+<td><%= record["site"] %></td><td><%= record["nhs"] %></td></tr>
+<% end %>
+</table></body></html>""",
+    name="calibrated-page",
+)
+
+
+def busy_wait_ms(milliseconds: float) -> None:
+    """Pin a stage's duration (sleep, topped up with a short spin)."""
+    deadline = time.perf_counter() + milliseconds / 1000.0
+    remaining = deadline - time.perf_counter()
+    if remaining > 0.002:
+        time.sleep(remaining - 0.001)
+    while time.perf_counter() < deadline:
+        pass
+
+
+def _make_records(count: int, labelled: bool) -> List[Dict[str, Any]]:
+    records = []
+    for index in range(count):
+        mdt = mdt_label(str(index % 4 + 1))
+        def wrap(value: str):
+            return label_value(value, mdt) if labelled else value
+
+        records.append(
+            {
+                "name": wrap(f"Patient {index:04d}"),
+                "stage": wrap(str(index % 4 + 1)),
+                "site": wrap("breast"),
+                "nhs": wrap(f"{index:03d} {index:03d} {index:04d}"),
+            }
+        )
+    return records
+
+
+class CalibratedFrontend:
+    """One paper-scale request path with pluggable label tracking."""
+
+    def __init__(self, records: int = 200, delays: FrontendDelays | None = None):
+        self.delays = delays or FrontendDelays()
+        self._labelled_records = _make_records(records, labelled=True)
+        self._plain_records = _make_records(records, labelled=False)
+        mdt_labels = [mdt_label(str(n)) for n in range(1, 5)]
+        self._privileges = PrivilegeSet({"clearance": mdt_labels})
+
+    def handle_request(self, track_labels: bool = True) -> Dict[str, float]:
+        """Serve one request; returns per-component times in ms."""
+        timings: Dict[str, float] = {}
+
+        started = time.perf_counter()
+        busy_wait_ms(self.delays.authentication)
+        timings["authentication"] = _ms_since(started)
+
+        started = time.perf_counter()
+        busy_wait_ms(self.delays.privilege_fetching)
+        timings["privilege_fetching"] = _ms_since(started)
+
+        records = self._labelled_records if track_labels else self._plain_records
+        started = time.perf_counter()
+        page = PAGE_TEMPLATE.render(records=records)
+        render_ms = _ms_since(started)
+
+        started = time.perf_counter()
+        if track_labels:
+            page_labels = LabelSet(page.labels)
+            assert self._privileges.clearance_covers(page_labels)
+        check_ms = _ms_since(started)
+
+        # The pinned template figure represents the *plain* rendering work
+        # of the paper's stack; real measured tracking cost rides on top.
+        plain_render_ms = self._plain_render_ms()
+        top_up = max(0.0, self.delays.template_rendering - plain_render_ms)
+        busy_wait_ms(top_up)
+        timings["template_rendering"] = self.delays.template_rendering
+        timings["label_propagation"] = max(0.0, render_ms - plain_render_ms) + check_ms
+
+        started = time.perf_counter()
+        busy_wait_ms(self.delays.other)
+        timings["other"] = _ms_since(started)
+        return timings
+
+    def _plain_render_ms(self) -> float:
+        started = time.perf_counter()
+        PAGE_TEMPLATE.render(records=self._plain_records)
+        return _ms_since(started)
+
+    def measure(self, iterations: int = 10, track_labels: bool = True) -> Dict[str, float]:
+        """Mean per-component times over *iterations* requests."""
+        totals: Dict[str, float] = {}
+        for _ in range(iterations):
+            for component, value in self.handle_request(track_labels).items():
+                totals[component] = totals.get(component, 0.0) + value
+        return {component: value / iterations for component, value in totals.items()}
+
+
+def _ms_since(started: float) -> float:
+    return (time.perf_counter() - started) * 1000.0

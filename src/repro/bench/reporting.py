@@ -1,0 +1,63 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every benchmark prints a paper-vs-measured table through these helpers so
+EXPERIMENTS.md and the benchmark output stay consistent in format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    columns = [[str(header)] + [str(row[index]) for row in rows] for index, header in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def comparison_table(
+    title: str,
+    paper: Dict[str, float],
+    measured: Dict[str, float],
+    unit: str = "ms",
+) -> str:
+    """Per-component paper-vs-measured table with share columns.
+
+    Shares (fraction of each column's total) are the comparable quantity
+    across hardware; absolute values are shown for completeness.
+    """
+    paper_total = sum(paper.values()) or 1.0
+    measured_total = sum(measured.values()) or 1.0
+    rows: List[Tuple[str, str, str, str, str]] = []
+    for component in paper:
+        paper_value = paper[component]
+        measured_value = measured.get(component, 0.0)
+        rows.append(
+            (
+                component,
+                f"{paper_value:.1f} {unit}",
+                f"{paper_value / paper_total * 100:.0f}%",
+                f"{measured_value:.4f} {unit}",
+                f"{measured_value / measured_total * 100:.0f}%",
+            )
+        )
+    rows.append(
+        (
+            "TOTAL",
+            f"{paper_total:.1f} {unit}",
+            "100%",
+            f"{measured_total:.4f} {unit}",
+            "100%",
+        )
+    )
+    table = format_table(
+        ("component", "paper", "paper share", "measured", "measured share"), rows
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,102 @@
+"""Latency measurement with the paper's statistical reporting.
+
+§5.3: "The 95% confidence interval for each value we report extends to
+each side at most 5% of the value." :class:`LatencyStats` computes the
+same interval so every benchmark can assert its own statistical quality.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a latency sample (seconds)."""
+
+    samples: List[float]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((value - mean) ** 2 for value in self.samples) / (len(self.samples) - 1)
+        )
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.samples)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2
+
+    def percentile(self, fraction: float) -> float:
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[index]
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half-width of the 95 % confidence interval of the mean."""
+        if len(self.samples) < 2:
+            return 0.0
+        return 1.96 * self.stdev / math.sqrt(len(self.samples))
+
+    @property
+    def ci95_relative(self) -> float:
+        """CI half-width as a fraction of the mean (the paper's ≤5 % bar)."""
+        mean = self.mean
+        if mean == 0:
+            return 0.0
+        return self.ci95_half_width / mean
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1000.0
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyStats(n={self.count}, mean={self.mean_ms:.3f}ms, "
+            f"ci95=±{self.ci95_relative * 100:.1f}%)"
+        )
+
+
+def measure_latency(
+    operation: Callable[[], object],
+    iterations: int = 1000,
+    warmup: int = 20,
+) -> LatencyStats:
+    """Time *operation* per call; mirrors the paper's 1000-request runs."""
+    for _ in range(warmup):
+        operation()
+    samples: List[float] = []
+    for _ in range(iterations):
+        started = time.perf_counter()
+        operation()
+        samples.append(time.perf_counter() - started)
+    return LatencyStats(samples)
+
+
+def overhead_percent(baseline: float, measured: float) -> float:
+    """Relative slowdown in percent (paper's +14 % / +15 % figures)."""
+    if baseline == 0:
+        return 0.0
+    return (measured - baseline) / baseline * 100.0
+
+
+def mean_of(samples: Sequence[float]) -> float:
+    return sum(samples) / len(samples) if samples else 0.0

@@ -1,0 +1,159 @@
+"""Audit log of label checks and security decisions.
+
+SafeWeb's value proposition (§2) is reducing *audit effort*: once the
+middleware is trusted, organisations audit its decisions instead of every
+application's code path. This module records every enforcement decision —
+grants and denials alike — with the principal, operation, labels involved
+and the component that made the check, so deployments can demonstrate
+compliance after the fact.
+
+The log is process-wide but injectable: components accept an ``audit``
+argument and default to :func:`default_audit_log`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.labels import LabelSet
+
+#: Decision outcomes.
+ALLOWED = "allowed"
+DENIED = "denied"
+
+_record_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One enforcement decision."""
+
+    record_id: int
+    timestamp: float
+    component: str  # e.g. "broker", "engine", "frontend", "store"
+    operation: str  # e.g. "deliver", "publish", "declassify", "respond"
+    principal: str
+    decision: str  # ALLOWED | DENIED
+    labels: LabelSet = field(default_factory=LabelSet)
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.record_id,
+            "timestamp": self.timestamp,
+            "component": self.component,
+            "operation": self.operation,
+            "principal": self.principal,
+            "decision": self.decision,
+            "labels": self.labels.to_uris(),
+            "detail": self.detail,
+        }
+
+
+class AuditLog:
+    """A bounded, thread-safe, in-memory audit log.
+
+    ``capacity`` bounds memory for long-running deployments; the oldest
+    records are discarded first, while the per-decision counters keep
+    exact totals forever.
+    """
+
+    def __init__(self, capacity: int = 10_000, clock: Callable[[], float] = time.time):
+        self._lock = threading.Lock()
+        self._records: List[AuditRecord] = []
+        self._capacity = capacity
+        self._clock = clock
+        self._counters: Dict[tuple, int] = {}
+
+    def record(
+        self,
+        component: str,
+        operation: str,
+        principal: str,
+        decision: str,
+        labels: Optional[LabelSet] = None,
+        detail: str = "",
+    ) -> AuditRecord:
+        entry = AuditRecord(
+            record_id=next(_record_ids),
+            timestamp=self._clock(),
+            component=component,
+            operation=operation,
+            principal=principal,
+            decision=decision,
+            labels=labels or LabelSet(),
+            detail=detail,
+        )
+        with self._lock:
+            self._records.append(entry)
+            if len(self._records) > self._capacity:
+                del self._records[: len(self._records) - self._capacity]
+            key = (component, operation, decision)
+            self._counters[key] = self._counters.get(key, 0) + 1
+        return entry
+
+    def allowed(self, component: str, operation: str, principal: str, **kwargs) -> AuditRecord:
+        return self.record(component, operation, principal, ALLOWED, **kwargs)
+
+    def denied(self, component: str, operation: str, principal: str, **kwargs) -> AuditRecord:
+        return self.record(component, operation, principal, DENIED, **kwargs)
+
+    # -- queries ---------------------------------------------------------
+
+    def records(
+        self,
+        component: Optional[str] = None,
+        decision: Optional[str] = None,
+        principal: Optional[str] = None,
+    ) -> List[AuditRecord]:
+        with self._lock:
+            snapshot = list(self._records)
+        return [
+            record
+            for record in snapshot
+            if (component is None or record.component == component)
+            and (decision is None or record.decision == decision)
+            and (principal is None or record.principal == principal)
+        ]
+
+    def denials(self, component: Optional[str] = None) -> List[AuditRecord]:
+        return self.records(component=component, decision=DENIED)
+
+    def count(
+        self,
+        component: Optional[str] = None,
+        operation: Optional[str] = None,
+        decision: Optional[str] = None,
+    ) -> int:
+        with self._lock:
+            return sum(
+                value
+                for (comp, oper, dec), value in self._counters.items()
+                if (component is None or comp == component)
+                and (operation is None or oper == operation)
+                and (decision is None or dec == decision)
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._counters.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterable[AuditRecord]:
+        return iter(self.records())
+
+
+_default_log = AuditLog()
+
+
+def default_audit_log() -> AuditLog:
+    """The process-wide audit log used when components are not injected one."""
+    return _default_log

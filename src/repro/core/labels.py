@@ -1,0 +1,301 @@
+"""Security labels and label sets (paper §4.1).
+
+SafeWeb associates a set of security labels with each event in the backend
+and with each variable in the frontend. There are two kinds:
+
+* **confidentiality** labels prevent sensitive data from escaping a system
+  boundary. They are *sticky*: every value derived from a labeled value
+  carries the label too, so when two label sets combine, confidentiality
+  labels take the **union**.
+* **integrity** labels certify provenance. They are *fragile*: a derived
+  value carries an integrity label only if *every* input carried it, so
+  when label sets combine, integrity labels take the **intersection**.
+
+Labels are represented as URIs, e.g.::
+
+    label:conf:ecric.org.uk/patient/33812769
+    label:int:ecric.org.uk/mdt
+
+The authority component names the organisation that owns the label; the
+path component scopes it (a patient, an MDT, a region, …).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.exceptions import LabelError
+
+#: Label kind for confidentiality ("sticky") labels.
+CONFIDENTIALITY = "conf"
+#: Label kind for integrity ("fragile") labels.
+INTEGRITY = "int"
+
+_KINDS = (CONFIDENTIALITY, INTEGRITY)
+
+_URI_RE = re.compile(
+    r"^label:(?P<kind>conf|int):(?P<authority>[A-Za-z0-9.\-]+)(?P<path>(?:/[A-Za-z0-9._\-]+)*)$"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A single tamper-resistant security label.
+
+    Instances are immutable and hashable so they can live in frozensets
+    that travel with events and variables. Use :func:`conf_label` /
+    :func:`int_label` for convenient construction and :func:`parse_label`
+    to parse the URI form.
+    """
+
+    kind: str
+    authority: str
+    path: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise LabelError(f"unknown label kind {self.kind!r}; expected 'conf' or 'int'")
+        if not self.authority:
+            raise LabelError("label authority must be non-empty")
+        if not isinstance(self.path, tuple):
+            # Accept any iterable of path segments for convenience.
+            object.__setattr__(self, "path", tuple(self.path))
+        for segment in self.path:
+            if not segment or "/" in segment:
+                raise LabelError(f"invalid label path segment {segment!r}")
+
+    @property
+    def uri(self) -> str:
+        """The canonical URI form, e.g. ``label:conf:ecric.org.uk/patient/1``."""
+        suffix = "".join(f"/{segment}" for segment in self.path)
+        return f"label:{self.kind}:{self.authority}{suffix}"
+
+    @property
+    def is_confidentiality(self) -> bool:
+        return self.kind == CONFIDENTIALITY
+
+    @property
+    def is_integrity(self) -> bool:
+        return self.kind == INTEGRITY
+
+    def child(self, *segments: str) -> "Label":
+        """A label scoped below this one, e.g. ``mdt_label.child('42')``."""
+        return Label(self.kind, self.authority, self.path + tuple(segments))
+
+    def is_ancestor_of(self, other: "Label") -> bool:
+        """True when *other* is scoped at or below this label's path.
+
+        Hierarchical scoping is a convenience for policy files ("clearance
+        for everything under ``/patient``"); enforcement itself always
+        compares exact labels.
+        """
+        return (
+            self.kind == other.kind
+            and self.authority == other.authority
+            and other.path[: len(self.path)] == self.path
+        )
+
+    def __str__(self) -> str:
+        return self.uri
+
+    def __repr__(self) -> str:
+        return f"Label({self.uri!r})"
+
+
+def conf_label(authority: str, *path: str) -> Label:
+    """Construct a confidentiality label: ``conf_label('ecric.org.uk', 'patient', '1')``."""
+    return Label(CONFIDENTIALITY, authority, tuple(path))
+
+
+def int_label(authority: str, *path: str) -> Label:
+    """Construct an integrity label: ``int_label('ecric.org.uk', 'mdt')``."""
+    return Label(INTEGRITY, authority, tuple(path))
+
+
+def parse_label(uri: str) -> Label:
+    """Parse the URI form produced by :attr:`Label.uri`.
+
+    >>> parse_label("label:conf:ecric.org.uk/patient/33812769")
+    Label('label:conf:ecric.org.uk/patient/33812769')
+    """
+    match = _URI_RE.match(uri)
+    if match is None:
+        raise LabelError(f"malformed label URI {uri!r}")
+    path = tuple(segment for segment in match.group("path").split("/") if segment)
+    return Label(match.group("kind"), match.group("authority"), path)
+
+
+def _coerce(value) -> Label:
+    if isinstance(value, Label):
+        return value
+    if isinstance(value, str):
+        return parse_label(value)
+    raise LabelError(f"cannot interpret {value!r} as a label")
+
+
+class LabelSet:
+    """An immutable set of labels with IFC flow composition.
+
+    The two composition rules of §4.1 are implemented by :meth:`combine`:
+    confidentiality labels are *sticky* (union) and integrity labels are
+    *fragile* (intersection). :meth:`flows_to` implements the lattice
+    ordering used for every clearance check in the middleware.
+
+    ``LabelSet`` supports the usual set protocol (iteration, ``in``,
+    ``len``, ``|``, ``-``, comparison) and is hashable.
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Iterable[Label | str] = ()):
+        self._labels: FrozenSet[Label] = frozenset(_coerce(label) for label in labels)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def of(cls, *labels: Label | str) -> "LabelSet":
+        """Variadic constructor: ``LabelSet.of(l1, l2)``."""
+        return cls(labels)
+
+    @classmethod
+    def empty(cls) -> "LabelSet":
+        return _EMPTY
+
+    # -- partitions ------------------------------------------------------
+
+    @property
+    def confidentiality(self) -> FrozenSet[Label]:
+        """The confidentiality ("sticky") labels in this set."""
+        return frozenset(label for label in self._labels if label.is_confidentiality)
+
+    @property
+    def integrity(self) -> FrozenSet[Label]:
+        """The integrity ("fragile") labels in this set."""
+        return frozenset(label for label in self._labels if label.is_integrity)
+
+    # -- IFC composition -------------------------------------------------
+
+    def combine(self, *others: "LabelSet") -> "LabelSet":
+        """The label set of data derived from ``self`` and ``others``.
+
+        Confidentiality labels union (a derived value is as secret as
+        everything that went into it); integrity labels intersect (a
+        derived value is only as trustworthy as its least trusted input).
+        """
+        conf = set(self.confidentiality)
+        integ = set(self.integrity)
+        for other in others:
+            if not isinstance(other, LabelSet):
+                other = LabelSet(other)
+            conf |= other.confidentiality
+            integ &= other.integrity
+        return LabelSet(conf | integ)
+
+    def flows_to(self, clearance: "LabelSet | Iterable[Label]") -> bool:
+        """True when data with these labels may be released to a principal
+        holding *clearance* over the given confidentiality labels.
+
+        Only confidentiality labels restrict release; integrity labels
+        restrict *acceptance* and are checked by :meth:`meets_integrity`.
+        """
+        if not isinstance(clearance, LabelSet):
+            clearance = LabelSet(clearance)
+        return self.confidentiality <= clearance.confidentiality
+
+    def meets_integrity(self, required: "LabelSet | Iterable[Label]") -> bool:
+        """True when this data carries every integrity label in *required*."""
+        if not isinstance(required, LabelSet):
+            required = LabelSet(required)
+        return required.integrity <= self.integrity
+
+    # -- set algebra -------------------------------------------------------
+
+    def add(self, *labels: Label | str) -> "LabelSet":
+        """A new set with *labels* added.
+
+        Adding confidentiality labels never requires privilege (§4.1: "it
+        is always possible to add extra confidentiality labels"); adding
+        integrity labels *does* — that check lives in the engine, which
+        calls this only after verifying endorsement privileges.
+        """
+        return LabelSet(self._labels | {_coerce(label) for label in labels})
+
+    def remove(self, *labels: Label | str) -> "LabelSet":
+        """A new set with *labels* removed (declassification/weakening).
+
+        The privilege check (declassification for confidentiality labels)
+        is performed by the caller — the engine or the frontend — not here.
+        """
+        return LabelSet(self._labels - {_coerce(label) for label in labels})
+
+    def union(self, other: "LabelSet | Iterable[Label]") -> "LabelSet":
+        if not isinstance(other, LabelSet):
+            other = LabelSet(other)
+        return LabelSet(self._labels | other._labels)
+
+    def difference(self, other: "LabelSet | Iterable[Label]") -> "LabelSet":
+        if not isinstance(other, LabelSet):
+            other = LabelSet(other)
+        return LabelSet(self._labels - other._labels)
+
+    def intersection(self, other: "LabelSet | Iterable[Label]") -> "LabelSet":
+        if not isinstance(other, LabelSet):
+            other = LabelSet(other)
+        return LabelSet(self._labels & other._labels)
+
+    __or__ = union
+    __sub__ = difference
+    __and__ = intersection
+
+    # -- protocol ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label) -> bool:
+        try:
+            return _coerce(label) in self._labels
+        except LabelError:
+            return False
+
+    def __bool__(self) -> bool:
+        return bool(self._labels)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LabelSet):
+            return self._labels == other._labels
+        if isinstance(other, (set, frozenset)):
+            return self._labels == other
+        return NotImplemented
+
+    def __le__(self, other: "LabelSet") -> bool:
+        if not isinstance(other, LabelSet):
+            other = LabelSet(other)
+        return self._labels <= other._labels
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:
+        if not self._labels:
+            return "LabelSet()"
+        uris = ", ".join(sorted(label.uri for label in self._labels))
+        return f"LabelSet({{{uris}}})"
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_uris(self) -> list[str]:
+        """A sorted list of label URIs, the wire representation."""
+        return sorted(label.uri for label in self._labels)
+
+    @classmethod
+    def from_uris(cls, uris: Iterable[str]) -> "LabelSet":
+        return cls(parse_label(uri) for uri in uris)
+
+
+_EMPTY = LabelSet()

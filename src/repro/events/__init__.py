@@ -1,0 +1,33 @@
+"""The event-processing backend (paper §4.1–§4.3).
+
+Application logic in SafeWeb is implemented as event processing units
+that exchange labelled events through an IFC-aware broker, under the
+control of an engine that tracks labels across callbacks and isolates
+units inside an IFC jail.
+"""
+
+from repro.events.event import Event
+from repro.events.context import LabelContext, current_labels, extend_labels
+from repro.events.selector import Selector, parse_selector
+from repro.events.broker import Broker, Subscription
+from repro.events.store import LabeledStore
+from repro.events.jail import Jail, isolate_callback
+from repro.events.unit import Unit, unit_from_function
+from repro.events.engine import EventProcessingEngine
+
+__all__ = [
+    "Event",
+    "LabelContext",
+    "current_labels",
+    "extend_labels",
+    "Selector",
+    "parse_selector",
+    "Broker",
+    "Subscription",
+    "LabeledStore",
+    "Jail",
+    "isolate_callback",
+    "Unit",
+    "unit_from_function",
+    "EventProcessingEngine",
+]

@@ -1,0 +1,278 @@
+"""The IFC-aware event broker (paper §4.2).
+
+Units communicate by publishing events and subscribing to topics, with
+optional SQL-92 content selectors. The broker filters events by security
+label: *for an event to be delivered to a subscriber, the set of its
+confidentiality labels must be a subset of those labels for which the
+subscriber possesses clearance privileges*. Label filtering is silent —
+an uncleared subscriber simply never sees the event — but every decision
+is recorded in the audit log.
+
+Subscriptions carry unique identifiers (the paper's extension to STOMP)
+so multiple subscriptions from one unit are tracked independently.
+
+Topic patterns support exact segments, ``*`` (one segment) and a trailing
+``#`` (any remaining segments), e.g. ``/mdt/*/report`` or ``/patient/#``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.audit import AuditLog, default_audit_log
+from repro.core.labels import LabelSet
+from repro.core.privileges import PrivilegeSet
+from repro.events.event import Event
+from repro.events.selector import Selector, parse_selector
+from repro.exceptions import SafeWebError
+
+_subscription_ids = itertools.count(1)
+
+
+def match_topic(pattern: str, topic: str) -> bool:
+    """Match a subscription pattern against an event topic."""
+    if pattern == topic:
+        return True
+    pattern_parts = pattern.strip("/").split("/")
+    topic_parts = topic.strip("/").split("/")
+    for index, part in enumerate(pattern_parts):
+        if part == "#":
+            # '#' must be the last pattern segment and match at least one
+            # topic segment.
+            return index == len(pattern_parts) - 1 and index < len(topic_parts)
+        if index >= len(topic_parts):
+            return False
+        if part != "*" and part != topic_parts[index]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass
+class Subscription:
+    """A registered subscription with its security context."""
+
+    subscription_id: str
+    topic: str
+    callback: Callable[[Event], None]
+    principal: str
+    clearance: PrivilegeSet
+    selector: Optional[Selector] = None
+    require_integrity: LabelSet = field(default_factory=LabelSet)
+    active: bool = True
+
+    def wants(self, event: Event) -> bool:
+        """Topic + selector match (no security decision here)."""
+        if not match_topic(self.topic, event.topic):
+            return False
+        if self.selector is not None and not self.selector.matches(event.attributes):
+            return False
+        return True
+
+    def cleared_for(self, event: Event) -> bool:
+        """The §4.2 label check."""
+        if not self.clearance.clearance_covers(event.labels):
+            return False
+        if self.require_integrity and not event.labels.meets_integrity(self.require_integrity):
+            return False
+        return True
+
+
+class BrokerStats:
+    """Counters used by the throughput benchmarks (E4, A1)."""
+
+    __slots__ = ("published", "delivered", "label_filtered", "selector_filtered", "errors")
+
+    def __init__(self):
+        self.published = 0
+        self.delivered = 0
+        self.label_filtered = 0
+        self.selector_filtered = 0
+        self.errors = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "label_filtered": self.label_filtered,
+            "selector_filtered": self.selector_filtered,
+            "errors": self.errors,
+        }
+
+
+class Broker:
+    """Topic/content/label-matching event broker.
+
+    ``threaded=False`` (default) delivers synchronously in the
+    publisher's thread — deterministic, used by tests and by the engine's
+    in-process pipelines. ``threaded=True`` enqueues events and a
+    dispatcher thread delivers them, which is how the STOMP server runs
+    so that jailed publishers never perform socket I/O themselves.
+    """
+
+    def __init__(
+        self,
+        threaded: bool = False,
+        audit: Optional[AuditLog] = None,
+        label_checks: bool = True,
+        raise_errors: bool = False,
+    ):
+        self._lock = threading.RLock()
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._audit = audit if audit is not None else default_audit_log()
+        self._threaded = threaded
+        self._label_checks = label_checks
+        #: When True (in-process deployments), subscriber exceptions
+        #: propagate to the publisher instead of being contained — the
+        #: engine relies on this to surface SecurityViolations in tests.
+        self._raise_errors = raise_errors
+        self.stats = BrokerStats()
+        self._queue: "queue.Queue[Optional[Event]]" = queue.Queue()
+        self._dispatcher: Optional[threading.Thread] = None
+        if threaded:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if self._dispatcher is not None:
+                return
+            self._threaded = True
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="safeweb-broker", daemon=True
+            )
+            self._dispatcher.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            dispatcher = self._dispatcher
+            self._dispatcher = None
+        if dispatcher is not None:
+            self._queue.put(None)
+            dispatcher.join(timeout)
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Block until queued events have been dispatched (threaded mode)."""
+        if self._threaded:
+            done = threading.Event()
+            self._queue.put(done)  # type: ignore[arg-type]
+            done.wait(timeout)
+
+    # -- subscription management ------------------------------------------------
+
+    def subscribe(
+        self,
+        topic: str,
+        callback: Callable[[Event], None],
+        principal: str = "anonymous",
+        clearance: Optional[PrivilegeSet] = None,
+        selector: Optional[str | Selector] = None,
+        subscription_id: Optional[str] = None,
+        require_integrity: LabelSet | None = None,
+    ) -> Subscription:
+        if isinstance(selector, str):
+            selector = parse_selector(selector)
+        subscription = Subscription(
+            subscription_id=subscription_id or f"sub-{next(_subscription_ids)}",
+            topic=topic,
+            callback=callback,
+            principal=principal,
+            clearance=clearance or PrivilegeSet.empty(),
+            selector=selector,
+            require_integrity=require_integrity or LabelSet(),
+        )
+        with self._lock:
+            if subscription.subscription_id in self._subscriptions:
+                raise SafeWebError(
+                    f"duplicate subscription id {subscription.subscription_id!r}"
+                )
+            self._subscriptions[subscription.subscription_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        with self._lock:
+            subscription = self._subscriptions.pop(subscription_id, None)
+        if subscription is not None:
+            subscription.active = False
+
+    def subscriptions_for(self, principal: str) -> List[Subscription]:
+        with self._lock:
+            return [s for s in self._subscriptions.values() if s.principal == principal]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)
+
+    # -- publication ---------------------------------------------------------------
+
+    def publish(self, event: Event, publisher: str = "anonymous") -> int:
+        """Publish an event; returns the number of deliveries (sync mode).
+
+        In threaded mode the event is enqueued and the return value is 0;
+        delivery counts accumulate in :attr:`stats`.
+        """
+        self.stats.published += 1
+        self._audit.allowed("broker", "publish", publisher, labels=event.labels)
+        if self._threaded:
+            self._queue.put(event)
+            return 0
+        return self._deliver(event)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            if isinstance(item, threading.Event):
+                item.set()
+                continue
+            self._deliver(item)
+
+    def _deliver(self, event: Event) -> int:
+        with self._lock:
+            candidates = list(self._subscriptions.values())
+        delivered = 0
+        for subscription in candidates:
+            if not subscription.active:
+                continue
+            if not match_topic(subscription.topic, event.topic):
+                continue
+            if subscription.selector is not None and not subscription.selector.matches(
+                event.attributes
+            ):
+                self.stats.selector_filtered += 1
+                continue
+            if self._label_checks and not subscription.cleared_for(event):
+                self.stats.label_filtered += 1
+                self._audit.denied(
+                    "broker",
+                    "deliver",
+                    subscription.principal,
+                    labels=event.labels,
+                    detail=f"subscription {subscription.subscription_id} lacks clearance",
+                )
+                continue
+            try:
+                subscription.callback(event)
+                delivered += 1
+                self.stats.delivered += 1
+                if self._label_checks:
+                    self._audit.allowed(
+                        "broker", "deliver", subscription.principal, labels=event.labels
+                    )
+            except Exception as exc:  # noqa: BLE001 - a failing subscriber must not stop others
+                self.stats.errors += 1
+                self._audit.denied(
+                    "broker",
+                    "deliver",
+                    subscription.principal,
+                    labels=event.labels,
+                    detail=f"callback error: {exc!r}",
+                )
+                if self._raise_errors:
+                    raise
+        return delivered

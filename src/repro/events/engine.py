@@ -1,0 +1,269 @@
+"""The event processing engine (paper §4.3).
+
+The engine is the runtime environment for units. Its key functions:
+
+1. **control of unit execution** — every callback runs under a
+   :class:`~repro.events.context.LabelContext` initialised to the labels
+   of the event being processed, and (for non-privileged units) inside
+   the IFC jail with a scope-isolated callback clone;
+2. **privilege assignment** — unit principals come from the policy file;
+   subscription clearance, publish-time declassification and endorsement
+   are all checked against them;
+3. **restriction of access to the environment** — privileged units
+   (importers/exporters) run outside the jail but may have clearance for
+   chosen labels withheld so they can never receive those events.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.audit import AuditLog, default_audit_log
+from repro.core.labels import Label, LabelSet
+from repro.core.policy import Policy
+from repro.core.principals import UnitPrincipal
+from repro.events.broker import Broker
+from repro.events.context import LabelContext, current_labels
+from repro.events.event import Event
+from repro.events.jail import Jail, isolate_callback, _state as _jail_state
+from repro.events.store import LabeledStore
+from repro.events.unit import Unit
+from repro.exceptions import (
+    DeclassificationError,
+    EndorsementError,
+    SafeWebError,
+    SecurityViolation,
+)
+
+
+class _UnitServices:
+    """Engine-side handle injected into each unit.
+
+    Deep-copying a unit (scope isolation) must *not* duplicate the
+    services — the store and broker wiring are intentionally shared, like
+    the paper's explicitly-tainted store — so ``__deepcopy__`` returns
+    the instance itself.
+    """
+
+    def __init__(self, engine: "EventProcessingEngine", unit: Unit, principal: UnitPrincipal):
+        self._engine = engine
+        self._unit = unit
+        self.principal = principal
+        self.store = LabeledStore(principal, audit=engine.audit)
+
+    def __deepcopy__(self, memo) -> "_UnitServices":
+        return self
+
+    def register_subscription(
+        self,
+        topic: str,
+        handler,
+        selector: Optional[str],
+        require_integrity: Optional[LabelSet] = None,
+    ) -> None:
+        self._engine._register_subscription(
+            self, topic, handler, selector, require_integrity
+        )
+
+    def publish(self, topic, attributes, payload, add, remove, remove_all) -> Event:
+        return self._engine._publish_from_unit(
+            self.principal, topic, attributes, payload, add, remove, remove_all
+        )
+
+
+class EventProcessingEngine:
+    """Runs units against a broker under IFC enforcement."""
+
+    def __init__(
+        self,
+        broker: Optional[Broker] = None,
+        policy: Optional[Policy] = None,
+        audit: Optional[AuditLog] = None,
+        isolation: bool = True,
+        raise_callback_errors: bool = False,
+    ):
+        self.broker = broker if broker is not None else Broker()
+        self.policy = policy
+        self.audit = audit if audit is not None else default_audit_log()
+        self.isolation = isolation
+        self.raise_callback_errors = raise_callback_errors
+        self._jail = Jail()
+        self._units: Dict[str, Unit] = {}
+        self._services: Dict[str, _UnitServices] = {}
+        self._lock = threading.Lock()
+
+    # -- unit lifecycle ------------------------------------------------------
+
+    def register(self, unit: Unit, principal: Optional[UnitPrincipal] = None) -> Unit:
+        """Attach *unit*, resolve its principal and run its ``setup``."""
+        if principal is None:
+            if self.policy is None:
+                raise SafeWebError(
+                    f"no policy configured; pass a principal for unit {unit.name!r}"
+                )
+            principal = self.policy.unit(unit.name)
+        with self._lock:
+            if unit.name in self._units:
+                raise SafeWebError(f"unit {unit.name!r} already registered")
+            services = _UnitServices(self, unit, principal)
+            self._units[unit.name] = unit
+            self._services[unit.name] = services
+        unit.attach(services)
+        unit.setup()
+        self.audit.allowed("engine", "register", principal.name)
+        return unit
+
+    def unregister(self, unit_name: str) -> None:
+        with self._lock:
+            self._units.pop(unit_name, None)
+            self._services.pop(unit_name, None)
+        for subscription in self.broker.subscriptions_for(unit_name):
+            self.broker.unsubscribe(subscription.subscription_id)
+
+    @property
+    def unit_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._units)
+
+    def store_of(self, unit_name: str) -> LabeledStore:
+        """The unit's store (tests and importers peek through this)."""
+        with self._lock:
+            return self._services[unit_name].store
+
+    # -- ingress for non-unit producers ----------------------------------------
+
+    def publish(
+        self,
+        topic: str,
+        attributes: Optional[dict] = None,
+        payload: Optional[str] = None,
+        labels: LabelSet | Iterable[Label | str] = (),
+        publisher: str = "external",
+    ) -> Event:
+        """Inject an externally produced, pre-labelled event."""
+        event = Event(topic, attributes, payload, labels)
+        self.broker.publish(event, publisher=publisher)
+        return event
+
+    # -- internal: subscription wiring ---------------------------------------------
+
+    def _register_subscription(
+        self,
+        services: _UnitServices,
+        topic: str,
+        handler,
+        selector: Optional[str],
+        require_integrity: Optional[LabelSet] = None,
+    ) -> None:
+        principal = services.principal
+        if self.isolation and not principal.privileged:
+            callback = isolate_callback(handler)
+        else:
+            callback = handler
+
+        def deliver(event: Event) -> None:
+            self._run_callback(principal, callback, event)
+
+        self.broker.subscribe(
+            topic,
+            deliver,
+            principal=principal.name,
+            clearance=principal.effective_clearance(),
+            selector=selector,
+            require_integrity=require_integrity,
+        )
+
+    def _run_callback(self, principal: UnitPrincipal, callback, event: Event) -> None:
+        try:
+            with LabelContext(event.labels):
+                if self.isolation and not principal.privileged:
+                    with self._jail.contained():
+                        callback(event)
+                elif principal.privileged:
+                    # A privileged unit may be invoked synchronously from a
+                    # jailed publisher; its own execution is legitimately
+                    # unjailed (the paper's $SAFE=0 units).
+                    with self._lifted_jail():
+                        callback(event)
+                else:
+                    callback(event)
+        except SecurityViolation as violation:
+            self.audit.denied(
+                "engine",
+                "callback",
+                principal.name,
+                labels=event.labels,
+                detail=f"{type(violation).__name__}: {violation}",
+            )
+            if self.raise_callback_errors:
+                raise
+        except Exception as error:  # noqa: BLE001 - unit bugs must not kill the engine
+            self.audit.denied(
+                "engine",
+                "callback",
+                principal.name,
+                labels=event.labels,
+                detail=f"unit error: {error!r}",
+            )
+            if self.raise_callback_errors:
+                raise
+
+    @contextmanager
+    def _lifted_jail(self):
+        previous = getattr(_jail_state, "contained", 0)
+        _jail_state.contained = 0
+        try:
+            yield
+        finally:
+            _jail_state.contained = previous
+
+    # -- internal: label-checked publish ----------------------------------------------
+
+    def _publish_from_unit(
+        self,
+        principal: UnitPrincipal,
+        topic: str,
+        attributes: Optional[dict],
+        payload: Optional[str],
+        add: Iterable[Label | str],
+        remove: Iterable[Label | str],
+        remove_all: bool,
+    ) -> Event:
+        ambient = current_labels()
+        add_set = LabelSet(add)
+        remove_set = ambient if remove_all else LabelSet(remove)
+
+        effective_removals = ambient.intersection(remove_set)
+        missing = principal.privileges.missing_declassification(effective_removals)
+        if missing:
+            self.audit.denied(
+                "engine",
+                "declassify",
+                principal.name,
+                labels=LabelSet(missing),
+                detail=f"publish to {topic}",
+            )
+            raise DeclassificationError(
+                f"unit {principal.name!r} lacks declassification for "
+                f"{sorted(label.uri for label in missing)}"
+            )
+        if add_set.integrity and not principal.privileges.can_endorse(add_set):
+            self.audit.denied(
+                "engine",
+                "endorse",
+                principal.name,
+                labels=LabelSet(add_set.integrity),
+                detail=f"publish to {topic}",
+            )
+            raise EndorsementError(
+                f"unit {principal.name!r} lacks endorsement for "
+                f"{sorted(label.uri for label in add_set.integrity)}"
+            )
+
+        labels = ambient.difference(remove_set).union(add_set)
+        event = Event(topic, attributes, payload, labels)
+        self.audit.allowed("engine", "publish", principal.name, labels=labels)
+        self.broker.publish(event, publisher=principal.name)
+        return event

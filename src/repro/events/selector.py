@@ -1,0 +1,511 @@
+"""SQL-92 subscription selectors (paper §4.2).
+
+STOMP subscriptions may carry a ``selector`` header with an SQL-92
+conditional expression evaluated over event attributes, mirroring JMS
+message selectors. This module implements the subset web/event systems
+use in practice:
+
+* comparison: ``=  <>  <  <=  >  >=``
+* logic: ``AND  OR  NOT`` (with SQL three-valued semantics)
+* range/set: ``BETWEEN x AND y``, ``IN ('a', 'b')`` (with ``NOT``)
+* pattern: ``LIKE 'pat%'`` with ``_``/``%`` wildcards and ``ESCAPE``
+* null tests: ``IS NULL`` / ``IS NOT NULL``
+* arithmetic: ``+  -  *  /`` and unary minus
+* literals: strings in single quotes (doubled-quote escaping), integer
+  and floating-point numbers, ``TRUE``/``FALSE``
+
+Event attribute values are untyped strings (§4.1), so the evaluator
+coerces them numerically when the other operand is numeric, as JMS
+providers do for string-typed properties. A missing attribute evaluates
+to SQL ``NULL``; the whole selector matches only when it evaluates to
+``TRUE`` (unknown is not a match).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Mapping, Optional, Tuple
+
+from repro.exceptions import SelectorSyntaxError
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><>|<=|>=|[=<>+\-*/(),])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "ESCAPE", "IS", "NULL", "TRUE", "FALSE"}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: Any):
+        self.kind = kind  # 'number' | 'string' | 'op' | 'keyword' | 'name' | 'end'
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SelectorSyntaxError(f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "number":
+            raw = match.group("number")
+            tokens.append(_Token("number", float(raw) if "." in raw else int(raw)))
+        elif match.lastgroup == "string":
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(_Token("string", raw))
+        elif match.lastgroup == "op":
+            tokens.append(_Token("op", match.group("op")))
+        else:
+            name = match.group("name")
+            if name.upper() in _KEYWORDS:
+                tokens.append(_Token("keyword", name.upper()))
+            else:
+                tokens.append(_Token("name", name))
+    tokens.append(_Token("end", None))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST — each node evaluates to a value or to None (SQL NULL / unknown)
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    __slots__ = ()
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Any:
+        raise NotImplementedError
+
+
+class _Literal(_Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Any:
+        return self.value
+
+
+class _Attribute(_Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Any:
+        return attributes.get(self.name)
+
+
+def _as_number(value: Any) -> Optional[float]:
+    if value is None or isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value))
+    except ValueError:
+        return None
+
+
+def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    """Three-valued comparison with JMS-style numeric coercion."""
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool) or isinstance(right, bool):
+        if op == "=":
+            return left is right
+        if op == "<>":
+            return left is not right
+        return None
+    if isinstance(left, (int, float)) or isinstance(right, (int, float)):
+        left_num, right_num = _as_number(left), _as_number(right)
+        if left_num is None or right_num is None:
+            return None if op not in ("=", "<>") else (op == "<>")
+        left, right = left_num, right_num
+    else:
+        left, right = str(left), str(right)
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise SelectorSyntaxError(f"unknown comparison operator {op!r}")
+
+
+class _Comparison(_Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: _Node, right: _Node):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
+        return _compare(self.op, self.left.evaluate(attributes), self.right.evaluate(attributes))
+
+
+class _Arithmetic(_Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: _Node, right: _Node):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[float]:
+        left = _as_number(self.left.evaluate(attributes))
+        right = _as_number(self.right.evaluate(attributes))
+        if left is None or right is None:
+            return None
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        if self.op == "/":
+            if right == 0:
+                return None
+            return left / right
+        raise SelectorSyntaxError(f"unknown arithmetic operator {self.op!r}")
+
+
+class _Negate(_Node):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: _Node):
+        self.operand = operand
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[float]:
+        value = _as_number(self.operand.evaluate(attributes))
+        return None if value is None else -value
+
+
+class _Not(_Node):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: _Node):
+        self.operand = operand
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
+        value = self.operand.evaluate(attributes)
+        if value is None:
+            return None
+        return not bool(value)
+
+
+class _And(_Node):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Node, right: _Node):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
+        left = self.left.evaluate(attributes)
+        if left is False:
+            return False
+        right = self.right.evaluate(attributes)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+
+
+class _Or(_Node):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Node, right: _Node):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
+        left = self.left.evaluate(attributes)
+        if left is True:
+            return True
+        right = self.right.evaluate(attributes)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+
+class _Between(_Node):
+    __slots__ = ("operand", "low", "high", "negated")
+
+    def __init__(self, operand: _Node, low: _Node, high: _Node, negated: bool):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
+        value = _as_number(self.operand.evaluate(attributes))
+        low = _as_number(self.low.evaluate(attributes))
+        high = _as_number(self.high.evaluate(attributes))
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return not result if self.negated else result
+
+
+class _In(_Node):
+    __slots__ = ("operand", "choices", "negated")
+
+    def __init__(self, operand: _Node, choices: Tuple[str, ...], negated: bool):
+        self.operand = operand
+        self.choices = choices
+        self.negated = negated
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
+        value = self.operand.evaluate(attributes)
+        if value is None:
+            return None
+        result = str(value) in self.choices
+        return not result if self.negated else result
+
+
+class _Like(_Node):
+    __slots__ = ("operand", "regex", "negated")
+
+    def __init__(self, operand: _Node, pattern: str, escape: Optional[str], negated: bool):
+        self.operand = operand
+        self.regex = _like_to_regex(pattern, escape)
+        self.negated = negated
+
+    def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
+        value = self.operand.evaluate(attributes)
+        if value is None:
+            return None
+        result = self.regex.fullmatch(str(value)) is not None
+        return not result if self.negated else result
+
+
+class _IsNull(_Node):
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: _Node, negated: bool):
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, attributes: Mapping[str, str]) -> bool:
+        is_null = self.operand.evaluate(attributes) is None
+        return not is_null if self.negated else is_null
+
+
+def _like_to_regex(pattern: str, escape: Optional[str]):
+    if escape is not None and len(escape) != 1:
+        raise SelectorSyntaxError("ESCAPE requires a single character")
+    parts: List[str] = []
+    index = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if escape is not None and char == escape:
+            index += 1
+            if index >= len(pattern):
+                raise SelectorSyntaxError("dangling ESCAPE character in LIKE pattern")
+            parts.append(re.escape(pattern[index]))
+        elif char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+        index += 1
+    return re.compile("".join(parts), re.DOTALL)
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent)
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _accept(self, kind: str, value: Any = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Any = None) -> _Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            raise SelectorSyntaxError(
+                f"expected {value or kind}, found {actual.value!r}"
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> _Node:
+        node = self._or_expr()
+        if self._peek().kind != "end":
+            raise SelectorSyntaxError(f"trailing input near {self._peek().value!r}")
+        return node
+
+    def _or_expr(self) -> _Node:
+        node = self._and_expr()
+        while self._accept("keyword", "OR"):
+            node = _Or(node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> _Node:
+        node = self._not_expr()
+        while self._accept("keyword", "AND"):
+            node = _And(node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> _Node:
+        if self._accept("keyword", "NOT"):
+            return _Not(self._not_expr())
+        return self._condition()
+
+    def _condition(self) -> _Node:
+        operand = self._sum()
+        token = self._peek()
+        if token.kind == "op" and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            self._advance()
+            return _Comparison(token.value, operand, self._sum())
+        negated = bool(self._accept("keyword", "NOT"))
+        if self._accept("keyword", "BETWEEN"):
+            low = self._sum()
+            self._expect("keyword", "AND")
+            return _Between(operand, low, self._sum(), negated)
+        if self._accept("keyword", "IN"):
+            return _In(operand, self._literal_list(), negated)
+        if self._accept("keyword", "LIKE"):
+            pattern = self._expect("string").value
+            escape = None
+            if self._accept("keyword", "ESCAPE"):
+                escape = self._expect("string").value
+            return _Like(operand, pattern, escape, negated)
+        if negated:
+            raise SelectorSyntaxError("NOT must be followed by BETWEEN, IN or LIKE here")
+        if self._accept("keyword", "IS"):
+            is_negated = bool(self._accept("keyword", "NOT"))
+            self._expect("keyword", "NULL")
+            return _IsNull(operand, is_negated)
+        return operand
+
+    def _literal_list(self) -> Tuple[str, ...]:
+        self._expect("op", "(")
+        values: List[str] = [self._expect("string").value]
+        while self._accept("op", ","):
+            values.append(self._expect("string").value)
+        self._expect("op", ")")
+        return tuple(values)
+
+    def _sum(self) -> _Node:
+        node = self._product()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._advance()
+                node = _Arithmetic(token.value, node, self._product())
+            else:
+                return node
+
+    def _product(self) -> _Node:
+        node = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                self._advance()
+                node = _Arithmetic(token.value, node, self._unary())
+            else:
+                return node
+
+    def _unary(self) -> _Node:
+        if self._accept("op", "-"):
+            return _Negate(self._unary())
+        if self._accept("op", "+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> _Node:
+        token = self._peek()
+        if token.kind in ("number", "string"):
+            self._advance()
+            return _Literal(token.value)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE"):
+            self._advance()
+            return _Literal(token.value == "TRUE")
+        if token.kind == "keyword" and token.value == "NULL":
+            self._advance()
+            return _Literal(None)
+        if token.kind == "name":
+            self._advance()
+            return _Attribute(token.value)
+        if self._accept("op", "("):
+            node = self._or_expr()
+            self._expect("op", ")")
+            return node
+        raise SelectorSyntaxError(f"unexpected token {token.value!r}")
+
+
+class Selector:
+    """A compiled selector; ``matches`` applies SQL semantics (NULL ≠ match)."""
+
+    __slots__ = ("text", "_root")
+
+    def __init__(self, text: str):
+        self.text = text
+        self._root = _Parser(_tokenize(text)).parse()
+
+    def matches(self, attributes: Mapping[str, str]) -> bool:
+        return self._root.evaluate(attributes) is True
+
+    def __repr__(self) -> str:
+        return f"Selector({self.text!r})"
+
+
+def parse_selector(text: Optional[str]) -> Optional[Selector]:
+    """Compile *text*, returning ``None`` for empty/absent selectors."""
+    if text is None or not text.strip():
+        return None
+    return Selector(text)

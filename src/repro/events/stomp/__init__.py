@@ -1,0 +1,29 @@
+"""STOMP transport for the IFC event broker (paper §4.2).
+
+The paper's broker speaks a modified STOMP — the Streaming Text Oriented
+Message Protocol — extended with:
+
+* security labels encoded as headers with special semantics
+  (``x-safeweb-labels``) in SEND and MESSAGE frames;
+* label-respecting matching semantics at the dispatching layer;
+* unique identifiers on subscriptions;
+* an SQL-92 ``selector`` header for content-based subscriptions;
+* SSL support at the transport layer.
+
+This package provides the frame codec, a threaded TCP server bridging to
+an in-process :class:`~repro.events.broker.Broker`, and a client.
+"""
+
+from repro.events.stomp.frames import Frame, FrameParser, encode_frame
+from repro.events.stomp.server import StompServer
+from repro.events.stomp.client import StompClient
+from repro.events.stomp.bridge import StompBrokerBridge
+
+__all__ = [
+    "Frame",
+    "FrameParser",
+    "encode_frame",
+    "StompServer",
+    "StompClient",
+    "StompBrokerBridge",
+]

@@ -1,0 +1,165 @@
+"""Engine-to-remote-broker bridge (the paper's deployment topology).
+
+In the ECRIC deployment the broker is a separate process (Figure 4, item
+1) and the event processing engine talks to it over STOMP. This bridge
+gives an :class:`~repro.events.engine.EventProcessingEngine` the same
+``subscribe``/``publish`` surface as the in-process
+:class:`~repro.events.broker.Broker` while speaking STOMP underneath.
+
+Two threading details mirror Figure 2:
+
+* **publishes are queued**: unit callbacks run inside the IFC jail and
+  may not touch sockets, so ``publish`` enqueues and a trusted sender
+  thread (the engine's ``$SAFE=0`` STOMP client) performs the I/O;
+* **deliveries arrive on the client listener thread**, which then enters
+  the jail per callback exactly like local dispatch.
+
+Clearance passed to ``subscribe`` is advisory here: the *server* resolves
+the connection's principal against its own policy, so a buggy or
+compromised engine host cannot claim clearance it does not have.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.core.labels import LabelSet
+from repro.core.privileges import PrivilegeSet
+from repro.events.event import Event
+from repro.events.stomp.client import StompClient
+
+
+class _BridgeStats:
+    __slots__ = ("published", "delivered", "errors")
+
+    def __init__(self):
+        self.published = 0
+        self.delivered = 0
+        self.errors = 0
+
+
+class _BridgeSubscription:
+    __slots__ = ("subscription_id", "topic", "principal", "active")
+
+    def __init__(self, subscription_id: str, topic: str, principal: str):
+        self.subscription_id = subscription_id
+        self.topic = topic
+        self.principal = principal
+        self.active = True
+
+
+class StompBrokerBridge:
+    """A Broker-compatible facade over a STOMP connection.
+
+    One bridge per unit principal: the STOMP login *is* the principal,
+    which is what lets the server enforce clearance per §4.2.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        login: str,
+        passcode: str = "",
+        tls_context=None,
+    ):
+        self._client = StompClient(
+            host, port, login=login, passcode=passcode, tls_context=tls_context
+        )
+        self._login = login
+        self._outgoing: "queue.Queue[Optional[Event]]" = queue.Queue()
+        self._sender: Optional[threading.Thread] = None
+        self._subscriptions: Dict[str, _BridgeSubscription] = {}
+        self.stats = _BridgeStats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self) -> "StompBrokerBridge":
+        self._client.connect()
+        self._sender = threading.Thread(
+            target=self._send_loop, name=f"safeweb-bridge-{self._login}", daemon=True
+        )
+        self._sender.start()
+        return self
+
+    def close(self) -> None:
+        if self._sender is not None:
+            self._outgoing.put(None)
+            self._sender.join(5)
+            self._sender = None
+        self._client.disconnect()
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Block until queued publishes have hit the wire."""
+        done = threading.Event()
+        self._outgoing.put(done)  # type: ignore[arg-type]
+        done.wait(timeout)
+
+    # -- the Broker surface the engine uses -------------------------------------
+
+    def subscribe(
+        self,
+        topic: str,
+        callback: Callable[[Event], None],
+        principal: str = "anonymous",
+        clearance: Optional[PrivilegeSet] = None,  # resolved server-side
+        selector=None,
+        subscription_id: Optional[str] = None,
+        require_integrity: Optional[LabelSet] = None,
+    ) -> _BridgeSubscription:
+        selector_text = getattr(selector, "text", selector)
+
+        def deliver(event: Event) -> None:
+            self.stats.delivered += 1
+            callback(event)
+
+        sub_id = self._client.subscribe(
+            topic,
+            deliver,
+            selector=selector_text,
+            subscription_id=subscription_id,
+            require_integrity=require_integrity or LabelSet(),
+        )
+        subscription = _BridgeSubscription(sub_id, topic, principal)
+        self._subscriptions[sub_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        subscription = self._subscriptions.pop(subscription_id, None)
+        if subscription is not None:
+            subscription.active = False
+            self._client.unsubscribe(subscription_id)
+
+    def subscriptions_for(self, principal: str) -> List[_BridgeSubscription]:
+        return [s for s in self._subscriptions.values() if s.principal == principal]
+
+    def publish(self, event: Event, publisher: str = "anonymous") -> int:
+        """Queue an event for transmission (jail-safe); returns 0."""
+        self.stats.published += 1
+        self._outgoing.put(event)
+        return 0
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _send_loop(self) -> None:
+        while True:
+            item = self._outgoing.get()
+            if item is None:
+                return
+            if isinstance(item, threading.Event):
+                item.set()
+                continue
+            try:
+                self._client.send(
+                    item.topic,
+                    attributes=item.attributes,
+                    payload=item.payload or "",
+                    labels=item.labels,
+                )
+            except Exception:  # noqa: BLE001 - connection loss must not kill the loop
+                self.stats.errors += 1

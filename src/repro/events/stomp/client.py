@@ -1,0 +1,252 @@
+"""STOMP client for the SafeWeb broker.
+
+The paper's client side sits on EventMachine; here a listener thread
+reads frames off the socket and dispatches MESSAGE frames to per-
+subscription callbacks as reconstructed :class:`Event` objects (labels
+included). Other frames (CONNECTED, RECEIPT, ERROR) resolve waiting
+calls, giving a simple blocking API:
+
+    client = StompClient(host, port, login="data_producer").connect()
+    client.subscribe("/patient_report", on_event, selector="type = 'cancer'")
+    client.send("/patient_report", {"type": "cancer"}, labels=[...])
+    client.disconnect()
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import ssl
+import threading
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.labels import Label, LabelSet
+from repro.events.event import Event
+from repro.events.stomp.frames import Frame, FrameParser, encode_frame
+from repro.events.stomp.server import LABEL_HEADER, RESERVED_HEADERS
+from repro.exceptions import SafeWebError, StompProtocolError
+
+_client_ids = itertools.count(1)
+
+
+class StompClient:
+    """A blocking STOMP client with a background listener thread."""
+
+    #: Receive poll interval of the I/O thread; bounds write latency.
+    POLL_SECONDS = 0.01
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        login: str = "anonymous",
+        passcode: str = "",
+        tls_context: Optional[ssl.SSLContext] = None,
+        timeout: float = 10.0,
+    ):
+        self._host = host
+        self._port = port
+        self._login = login
+        self._passcode = passcode
+        self._tls_context = tls_context
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._listener: Optional[threading.Thread] = None
+        self._callbacks: Dict[str, Callable[[Event], None]] = {}
+        self._control: "queue.Queue[Frame]" = queue.Queue()
+        # All socket writes happen in the listener thread (single-thread
+        # multiplexing): concurrent SSL_read/SSL_write from different
+        # threads is unsafe on one TLS connection.
+        self._outgoing: "queue.Queue[Frame]" = queue.Queue()
+        self._connected = threading.Event()
+        self.errors: list = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self) -> "StompClient":
+        sock = socket.create_connection((self._host, self._port), timeout=self._timeout)
+        if self._tls_context is not None:
+            sock = self._tls_context.wrap_socket(sock, server_hostname=self._host)
+        self._sock = sock
+        self._listener = threading.Thread(
+            target=self._listen, name="safeweb-stomp-client", daemon=True
+        )
+        self._listener.start()
+        self._transmit(
+            Frame("CONNECT", {"login": self._login, "passcode": self._passcode})
+        )
+        reply = self._await_control({"CONNECTED", "ERROR"})
+        if reply.command == "ERROR":
+            raise SafeWebError(f"broker rejected connection: {reply.header('message')}")
+        self._connected.set()
+        return self
+
+    def disconnect(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._transmit(Frame("DISCONNECT", {"receipt": "bye"}))
+            self._await_control({"RECEIPT"}, timeout=1.0)
+        except Exception:  # noqa: BLE001 - best-effort goodbye
+            pass
+        finally:
+            self._close()
+
+    @property
+    def connected(self) -> bool:
+        return self._connected.is_set()
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(
+        self,
+        destination: str,
+        attributes: Optional[dict] = None,
+        payload: str = "",
+        labels: LabelSet | Iterable[Label | str] = (),
+        receipt: bool = False,
+    ) -> None:
+        if not isinstance(labels, LabelSet):
+            labels = LabelSet(labels)
+        headers = {"destination": destination}
+        for name, value in (attributes or {}).items():
+            if str(name) in RESERVED_HEADERS:
+                raise StompProtocolError(f"attribute name {name!r} is reserved")
+            headers[str(name)] = str(value)
+        if labels:
+            headers[LABEL_HEADER] = ",".join(labels.to_uris())
+        if receipt:
+            headers["receipt"] = f"send-{next(_client_ids)}"
+        self._transmit(Frame("SEND", headers, payload or ""))
+        if receipt:
+            self._await_control({"RECEIPT"})
+
+    def subscribe(
+        self,
+        destination: str,
+        callback: Callable[[Event], None],
+        selector: Optional[str] = None,
+        subscription_id: Optional[str] = None,
+        require_integrity: LabelSet | Iterable[Label | str] = (),
+    ) -> str:
+        subscription_id = subscription_id or f"client-sub-{next(_client_ids)}"
+        headers = {
+            "destination": destination,
+            "id": subscription_id,
+            "receipt": f"subscribe-{subscription_id}",
+        }
+        if selector:
+            headers["selector"] = selector
+        if not isinstance(require_integrity, LabelSet):
+            require_integrity = LabelSet(require_integrity)
+        if require_integrity:
+            from repro.events.stomp.server import REQUIRE_INTEGRITY_HEADER
+
+            headers[REQUIRE_INTEGRITY_HEADER] = ",".join(require_integrity.to_uris())
+        self._callbacks[subscription_id] = callback
+        self._transmit(Frame("SUBSCRIBE", headers))
+        self._await_control({"RECEIPT"})
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        self._callbacks.pop(subscription_id, None)
+        self._transmit(
+            Frame(
+                "UNSUBSCRIBE",
+                {"id": subscription_id, "receipt": f"unsubscribe-{subscription_id}"},
+            )
+        )
+        self._await_control({"RECEIPT"})
+
+    # -- internals ---------------------------------------------------------------
+
+    def _transmit(self, frame: Frame) -> None:
+        if self._sock is None:
+            raise SafeWebError("client is not connected")
+        self._outgoing.put(frame)
+
+    def _await_control(self, commands, timeout: Optional[float] = None) -> Frame:
+        deadline = timeout if timeout is not None else self._timeout
+        try:
+            frame = self._control.get(timeout=deadline)
+        except queue.Empty:
+            raise SafeWebError(f"timed out waiting for {sorted(commands)}") from None
+        if frame.command not in commands and frame.command == "ERROR":
+            raise SafeWebError(f"broker error: {frame.header('message')}")
+        return frame
+
+    def _listen(self) -> None:
+        parser = FrameParser()
+        sock = self._sock
+        sock.settimeout(self.POLL_SECONDS)
+        try:
+            while True:
+                self._flush_outgoing(sock)
+                try:
+                    data = sock.recv(65536)
+                except TimeoutError:
+                    continue
+                except ssl.SSLError as error:
+                    # SSL read timeouts surface as generic SSLError
+                    # ("The read operation timed out"), not TimeoutError.
+                    if isinstance(error, ssl.SSLWantReadError) or "timed out" in str(error):
+                        continue
+                    return
+                if not data:
+                    return
+                for frame in parser.feed(data):
+                    if frame.command == "MESSAGE":
+                        self._on_message(frame)
+                    else:
+                        self._control.put(frame)
+        except OSError:
+            return
+        finally:
+            self._connected.clear()
+
+    def _flush_outgoing(self, sock) -> None:
+        while True:
+            try:
+                frame = self._outgoing.get_nowait()
+            except queue.Empty:
+                return
+            payload = encode_frame(frame)
+            sock.settimeout(self._timeout)
+            try:
+                sock.sendall(payload)
+            finally:
+                sock.settimeout(self.POLL_SECONDS)
+
+    def _on_message(self, frame: Frame) -> None:
+        subscription_id = frame.header("subscription", "")
+        callback = self._callbacks.get(subscription_id)
+        if callback is None:
+            return
+        attributes = {
+            name: value
+            for name, value in frame.headers.items()
+            if name not in RESERVED_HEADERS and name != "message-id"
+        }
+        labels = LabelSet.from_uris(
+            uri for uri in frame.header(LABEL_HEADER, "").split(",") if uri
+        )
+        event = Event(
+            topic=frame.require("destination"),
+            attributes=attributes,
+            payload=frame.body or None,
+            labels=labels,
+        )
+        try:
+            callback(event)
+        except Exception as error:  # noqa: BLE001 - callbacks must not kill the listener
+            self.errors.append(error)
+
+    def _close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._connected.clear()

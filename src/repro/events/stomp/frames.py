@@ -1,0 +1,173 @@
+"""STOMP 1.1 frame encoding and incremental decoding.
+
+A STOMP frame is::
+
+    COMMAND
+    header1:value1
+    header2:value2
+
+    body^@
+
+(the NUL byte ``^@`` terminates the frame). Header names and values are
+escaped per STOMP 1.1 (``\\n`` → ``\\\\n``, ``:`` → ``\\\\c``, ``\\\\`` →
+``\\\\\\\\``, ``\\r`` → ``\\\\r``). When a ``content-length`` header is
+present the body is read as exactly that many bytes, allowing NUL bytes
+in payloads; frames we encode always include it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import StompProtocolError
+
+#: Commands a client may send.
+CLIENT_COMMANDS = frozenset(
+    {"CONNECT", "STOMP", "SEND", "SUBSCRIBE", "UNSUBSCRIBE", "ACK", "NACK",
+     "BEGIN", "COMMIT", "ABORT", "DISCONNECT"}
+)
+#: Commands a server may send.
+SERVER_COMMANDS = frozenset({"CONNECTED", "MESSAGE", "RECEIPT", "ERROR"})
+
+_ESCAPES = [("\\", "\\\\"), ("\r", "\\r"), ("\n", "\\n"), (":", "\\c")]
+_UNESCAPES = {"\\\\": "\\", "\\r": "\r", "\\n": "\n", "\\c": ":"}
+
+
+def _escape(text: str) -> str:
+    for raw, escaped in _ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def _unescape(text: str) -> str:
+    result: List[str] = []
+    index = 0
+    while index < len(text):
+        if text[index] == "\\":
+            token = text[index : index + 2]
+            if token not in _UNESCAPES:
+                raise StompProtocolError(f"invalid escape sequence {token!r}")
+            result.append(_UNESCAPES[token])
+            index += 2
+        else:
+            result.append(text[index])
+            index += 1
+    return "".join(result)
+
+
+class Frame:
+    """A decoded STOMP frame."""
+
+    __slots__ = ("command", "headers", "body")
+
+    def __init__(self, command: str, headers: Optional[Dict[str, str]] = None, body: str = ""):
+        self.command = command
+        self.headers = dict(headers or {})
+        self.body = body
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name, default)
+
+    def require(self, name: str) -> str:
+        value = self.headers.get(name)
+        if value is None:
+            raise StompProtocolError(f"{self.command} frame missing {name!r} header")
+        return value
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        return (
+            self.command == other.command
+            and self.headers == other.headers
+            and self.body == other.body
+        )
+
+    def __repr__(self) -> str:
+        return f"Frame({self.command!r}, headers={self.headers!r}, body={self.body!r})"
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise a frame; always emits ``content-length``."""
+    if frame.command not in CLIENT_COMMANDS | SERVER_COMMANDS:
+        raise StompProtocolError(f"unknown STOMP command {frame.command!r}")
+    body = frame.body.encode("utf-8")
+    lines = [frame.command]
+    for name, value in frame.headers.items():
+        lines.append(f"{_escape(str(name))}:{_escape(str(value))}")
+    lines.append(f"content-length:{len(body)}")
+    head = "\n".join(lines).encode("utf-8")
+    return head + b"\n\n" + body + b"\x00"
+
+
+class FrameParser:
+    """Incremental parser: feed bytes, collect complete frames.
+
+    Handles partial frames across TCP reads, ``content-length`` bodies
+    with embedded NULs, and the heart-beating EOLs STOMP allows between
+    frames.
+    """
+
+    def __init__(self, max_frame_size: int = 1 << 22):
+        self._buffer = bytearray()
+        self._max = max_frame_size
+
+    def feed(self, data: bytes) -> List[Frame]:
+        self._buffer.extend(data)
+        if len(self._buffer) > self._max:
+            raise StompProtocolError("frame exceeds maximum size")
+        frames: List[Frame] = []
+        while True:
+            frame, consumed = self._try_parse()
+            if frame is None:
+                return frames
+            frames.append(frame)
+            del self._buffer[:consumed]
+
+    def _try_parse(self) -> Tuple[Optional[Frame], int]:
+        # Skip inter-frame EOLs (heart-beats).
+        start = 0
+        while start < len(self._buffer) and self._buffer[start : start + 1] in (b"\n", b"\r"):
+            start += 1
+        head_end = self._buffer.find(b"\n\n", start)
+        if head_end == -1:
+            return None, 0
+        header_block = self._buffer[start:head_end].decode("utf-8")
+        lines = header_block.split("\n")
+        command = lines[0].strip("\r")
+        if command not in CLIENT_COMMANDS | SERVER_COMMANDS:
+            raise StompProtocolError(f"unknown STOMP command {command!r}")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            line = line.rstrip("\r")
+            if not line:
+                continue
+            if ":" not in line:
+                raise StompProtocolError(f"malformed header line {line!r}")
+            name, _colon, value = line.partition(":")
+            name = _unescape(name)
+            # STOMP: the FIRST occurrence of a repeated header wins.
+            if name not in headers:
+                headers[name] = _unescape(value)
+
+        body_start = head_end + 2
+        length_header = headers.get("content-length")
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError:
+                raise StompProtocolError(f"bad content-length {length_header!r}") from None
+            if len(self._buffer) < body_start + length + 1:
+                return None, 0
+            body = bytes(self._buffer[body_start : body_start + length])
+            if self._buffer[body_start + length : body_start + length + 1] != b"\x00":
+                raise StompProtocolError("frame body not NUL-terminated")
+            consumed = body_start + length + 1
+        else:
+            nul = self._buffer.find(b"\x00", body_start)
+            if nul == -1:
+                return None, 0
+            body = bytes(self._buffer[body_start:nul])
+            consumed = nul + 1
+        headers.pop("content-length", None)
+        return Frame(command, headers, body.decode("utf-8")), consumed

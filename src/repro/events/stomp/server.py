@@ -1,0 +1,336 @@
+"""The STOMP server: the broker's wire interface (paper §4.2).
+
+Bridges TCP clients to an in-process :class:`~repro.events.broker.Broker`:
+
+* ``CONNECT`` authenticates the client against the policy (units and
+  users both work as broker principals) and answers ``CONNECTED``;
+* ``SUBSCRIBE`` registers a broker subscription whose clearance is the
+  *authenticated principal's* — clients cannot claim clearance in the
+  frame, which is what makes the label filtering trustworthy;
+* ``SEND`` publishes an event: non-reserved headers become event
+  attributes, the body becomes the payload and ``x-safeweb-labels``
+  (comma-separated URIs) become confidentiality/integrity labels;
+* matching events come back as ``MESSAGE`` frames with the label header
+  restored, so labels survive the wire round trip.
+
+TLS: pass an ``ssl.SSLContext`` to wrap accepted connections — the
+paper's "extended with SSL support at the transport layer".
+"""
+
+from __future__ import annotations
+
+import queue
+import socketserver
+import ssl
+import threading
+from typing import Dict, Optional
+
+from repro.core.audit import AuditLog, default_audit_log
+from repro.core.labels import LabelSet
+from repro.core.policy import Policy
+from repro.core.privileges import PrivilegeSet
+from repro.events.broker import Broker
+from repro.events.event import Event
+from repro.events.stomp.frames import Frame, FrameParser, encode_frame
+from repro.exceptions import SelectorSyntaxError, StompProtocolError
+
+#: Headers that carry protocol state rather than event attributes.
+RESERVED_HEADERS = frozenset(
+    {
+        "destination",
+        "id",
+        "subscription",
+        "message-id",
+        "content-length",
+        "content-type",
+        "receipt",
+        "receipt-id",
+        "login",
+        "passcode",
+        "selector",
+        "session",
+        "version",
+        "ack",
+        "transaction",
+        "x-safeweb-labels",
+        "x-safeweb-require-integrity",
+    }
+)
+
+LABEL_HEADER = "x-safeweb-labels"
+REQUIRE_INTEGRITY_HEADER = "x-safeweb-require-integrity"
+
+
+def _is_ssl_timeout(error: ssl.SSLError) -> bool:
+    return isinstance(error, ssl.SSLWantReadError) or "timed out" in str(error)
+
+
+def event_to_message(event: Event, subscription_id: str) -> Frame:
+    headers = {
+        "destination": event.topic,
+        "subscription": subscription_id,
+        "message-id": str(event.event_id),
+    }
+    headers.update(event.attributes)
+    if event.labels:
+        headers[LABEL_HEADER] = ",".join(event.labels.to_uris())
+    return Frame("MESSAGE", headers, event.payload or "")
+
+
+def frame_to_event(frame: Frame) -> Event:
+    attributes = {
+        name: value for name, value in frame.headers.items() if name not in RESERVED_HEADERS
+    }
+    label_header = frame.header(LABEL_HEADER, "")
+    labels = LabelSet.from_uris(uri for uri in label_header.split(",") if uri)
+    return Event(
+        topic=frame.require("destination"),
+        attributes=attributes,
+        payload=frame.body or None,
+        labels=labels,
+    )
+
+
+class _Connection(socketserver.BaseRequestHandler):
+    """One client session; runs in its own thread.
+
+    All socket I/O for the connection happens in this one thread: other
+    threads (the broker dispatcher delivering MESSAGE frames) enqueue
+    outgoing frames and the handler loop flushes the queue between short
+    receive timeouts. Concurrent ``SSL_read``/``SSL_write`` on one TLS
+    connection from different threads is undefined behaviour in OpenSSL,
+    so single-thread multiplexing is what makes the TLS transport sound.
+    """
+
+    server: "StompServer"
+
+    #: Receive poll interval; bounds outgoing-frame latency.
+    POLL_SECONDS = 0.01
+
+    def setup(self) -> None:
+        super().setup()
+        self.parser = FrameParser()
+        self.principal: Optional[str] = None
+        self.clearance = PrivilegeSet.empty()
+        self.subscriptions: Dict[str, str] = {}  # client id -> broker id
+        self.outgoing: "queue.Queue[Frame]" = queue.Queue()
+        self.closed = False
+
+    def handle(self) -> None:
+        sock = self.request
+        try:
+            if self.server.tls_context is not None:
+                sock = self.server.tls_context.wrap_socket(sock, server_side=True)
+                self.request = sock
+        except (OSError, ssl.SSLError):
+            return  # handshake failed (e.g. plaintext client)
+        sock.settimeout(self.POLL_SECONDS)
+        try:
+            while not self.closed:
+                self._flush_outgoing(sock)
+                try:
+                    data = sock.recv(65536)
+                except TimeoutError:
+                    continue
+                except ssl.SSLError as error:
+                    # SSL read timeouts surface as generic SSLError
+                    # ("The read operation timed out"), not TimeoutError.
+                    if _is_ssl_timeout(error):
+                        continue
+                    return
+                if not data:
+                    return
+                for frame in self.parser.feed(data):
+                    self._dispatch(frame)
+            self._flush_outgoing(sock)
+        except (StompProtocolError, SelectorSyntaxError) as error:
+            self._send(Frame("ERROR", {"message": str(error)}))
+            self._flush_outgoing(sock)
+        except OSError:
+            pass  # client went away
+        finally:
+            self._cleanup()
+
+    def _flush_outgoing(self, sock) -> None:
+        while True:
+            try:
+                frame = self.outgoing.get_nowait()
+            except queue.Empty:
+                return
+            payload = encode_frame(frame)
+            sock.settimeout(5.0)
+            try:
+                sock.sendall(payload)
+            except OSError:
+                self.closed = True
+                return
+            finally:
+                sock.settimeout(self.POLL_SECONDS)
+
+    # -- frame dispatch --------------------------------------------------------
+
+    def _dispatch(self, frame: Frame) -> None:
+        handler = {
+            "CONNECT": self._on_connect,
+            "STOMP": self._on_connect,
+            "SEND": self._on_send,
+            "SUBSCRIBE": self._on_subscribe,
+            "UNSUBSCRIBE": self._on_unsubscribe,
+            "DISCONNECT": self._on_disconnect,
+        }.get(frame.command)
+        if handler is None:
+            self._send(Frame("ERROR", {"message": f"unsupported command {frame.command}"}))
+            return
+        try:
+            handler(frame)
+        except (StompProtocolError, SelectorSyntaxError) as error:
+            self._send(Frame("ERROR", {"message": str(error)}))
+        self._maybe_receipt(frame)
+
+    def _on_connect(self, frame: Frame) -> None:
+        login = frame.header("login", "anonymous")
+        passcode = frame.header("passcode", "")
+        clearance = self.server.authenticate(login, passcode)
+        if clearance is None:
+            self._send(Frame("ERROR", {"message": "authentication failed"}))
+            self.closed = True
+            return
+        self.principal = login
+        self.clearance = clearance
+        self._send(
+            Frame(
+                "CONNECTED",
+                {"version": "1.1", "session": f"session-{id(self) & 0xFFFF:04x}"},
+            )
+        )
+        self.server.audit.allowed("stomp", "connect", login)
+
+    def _require_connected(self) -> str:
+        if self.principal is None:
+            raise StompProtocolError("not connected; send CONNECT first")
+        return self.principal
+
+    def _on_send(self, frame: Frame) -> None:
+        principal = self._require_connected()
+        event = frame_to_event(frame)
+        self.server.broker.publish(event, publisher=principal)
+
+    def _on_subscribe(self, frame: Frame) -> None:
+        principal = self._require_connected()
+        destination = frame.require("destination")
+        client_id = frame.require("id")
+        if client_id in self.subscriptions:
+            raise StompProtocolError(f"subscription id {client_id!r} already in use")
+        selector = frame.header("selector")
+        integrity_header = frame.header(REQUIRE_INTEGRITY_HEADER, "")
+        require_integrity = LabelSet.from_uris(
+            uri for uri in integrity_header.split(",") if uri
+        )
+
+        def deliver(event: Event, _client_id=client_id) -> None:
+            self._send(event_to_message(event, _client_id))
+
+        subscription = self.server.broker.subscribe(
+            destination,
+            deliver,
+            principal=principal,
+            clearance=self.clearance,
+            selector=selector,
+            require_integrity=require_integrity,
+        )
+        self.subscriptions[client_id] = subscription.subscription_id
+
+    def _on_unsubscribe(self, frame: Frame) -> None:
+        self._require_connected()
+        client_id = frame.require("id")
+        broker_id = self.subscriptions.pop(client_id, None)
+        if broker_id is None:
+            raise StompProtocolError(f"unknown subscription id {client_id!r}")
+        self.server.broker.unsubscribe(broker_id)
+
+    def _on_disconnect(self, _frame: Frame) -> None:
+        self.closed = True
+
+    def _maybe_receipt(self, frame: Frame) -> None:
+        receipt = frame.header("receipt")
+        if receipt is not None:
+            self._send(Frame("RECEIPT", {"receipt-id": receipt}))
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _send(self, frame: Frame) -> None:
+        """Queue a frame; the handler thread performs the socket write."""
+        self.outgoing.put(frame)
+
+    def _cleanup(self) -> None:
+        for broker_id in self.subscriptions.values():
+            self.server.broker.unsubscribe(broker_id)
+        self.subscriptions.clear()
+
+
+class StompServer(socketserver.ThreadingTCPServer):
+    """A threaded STOMP server over an IFC broker.
+
+    ``policy`` supplies per-login clearance: a login naming a unit gets
+    the unit's (withholding-adjusted) privileges, a login naming a user
+    must present the user's password. Without a policy every login is
+    accepted with empty clearance — only unlabelled events flow, which is
+    fail-safe.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        broker: Broker,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        policy: Optional[Policy] = None,
+        tls_context: Optional[ssl.SSLContext] = None,
+        audit: Optional[AuditLog] = None,
+    ):
+        self.broker = broker
+        self.policy = policy
+        self.tls_context = tls_context
+        self.audit = audit if audit is not None else default_audit_log()
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _Connection)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self):
+        return self.server_address
+
+    def start(self) -> "StompServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="safeweb-stomp", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None
+
+    # -- authentication ----------------------------------------------------------
+
+    def authenticate(self, login: str, passcode: str) -> Optional[PrivilegeSet]:
+        """Resolve a login to its clearance; ``None`` means reject."""
+        if self.policy is None:
+            return PrivilegeSet.empty()
+        document_units = self.policy.unit_names
+        if login in document_units:
+            return self.policy.unit(login).effective_clearance()
+        user = self.policy.find_user(login)
+        if user is not None:
+            if not user.check_password(passcode):
+                self.audit.denied("stomp", "connect", login, detail="bad passcode")
+                return None
+            return user.privileges
+        self.audit.denied("stomp", "connect", login, detail="unknown principal")
+        return None

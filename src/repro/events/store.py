@@ -1,0 +1,145 @@
+"""The unit-specific labelled key-value store (paper §4.3).
+
+Stateful units keep state between callbacks through a key-value store
+whose keys carry label sets:
+
+* **reading** a key widens the ambient ``_LABELS`` of the running
+  callback with the key's labels — state is as confidential as what was
+  stored under it;
+* **writing** a key stamps the current ambient labels onto it, with
+  optional add/remove sets mirroring the publish call; removal requires
+  the unit's declassification privilege.
+
+Values are deep-copied on both paths so a jailed callback can never
+retain a shared mutable reference that would bypass label tracking.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.audit import AuditLog, default_audit_log
+from repro.core.labels import Label, LabelSet
+from repro.core.principals import UnitPrincipal
+from repro.events.context import combine_ambient, current_labels
+from repro.exceptions import DeclassificationError, EndorsementError
+
+_MISSING = object()
+
+
+class LabeledStore:
+    """Per-unit key-value store with per-key label sets."""
+
+    def __init__(self, principal: UnitPrincipal, audit: Optional[AuditLog] = None):
+        self._principal = principal
+        self._audit = audit if audit is not None else default_audit_log()
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Tuple[Any, LabelSet]] = {}
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a value; the key's labels join the ambient label set."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            return default
+        value, labels = entry
+        self._taint_ambient(labels)
+        return copy.deepcopy(value)
+
+    def labels_for(self, key: str) -> LabelSet:
+        """The labels on *key* without reading the value (no ambient widening)."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            return LabelSet()
+        return entry[1]
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- writes --------------------------------------------------------------
+
+    def set(
+        self,
+        key: str,
+        value: Any,
+        add: Iterable[Label | str] = (),
+        remove: Iterable[Label | str] = (),
+    ) -> LabelSet:
+        """Write a value; ambient labels (±add/remove) become the key's labels.
+
+        Removing confidentiality labels requires declassification
+        privilege; adding integrity labels requires endorsement — the
+        same rules as the engine's publish call (§4.3).
+        """
+        labels = self._checked_labels(current_labels(), add, remove, operation="store.set")
+        with self._lock:
+            self._entries[key] = (copy.deepcopy(value), labels)
+        return labels
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- internals ------------------------------------------------------------
+
+    def _taint_ambient(self, labels: LabelSet) -> None:
+        try:
+            combine_ambient(labels)
+        except RuntimeError:
+            # Outside a callback (e.g. engine bootstrap); nothing to widen.
+            pass
+
+    def _checked_labels(
+        self,
+        base: LabelSet,
+        add: Iterable[Label | str],
+        remove: Iterable[Label | str],
+        operation: str,
+    ) -> LabelSet:
+        add_set = LabelSet(add)
+        remove_set = LabelSet(remove)
+        privileges = self._principal.privileges
+        missing = privileges.missing_declassification(remove_set)
+        if missing:
+            self._audit.denied(
+                "store",
+                operation,
+                self._principal.name,
+                labels=LabelSet(missing),
+                detail="declassification denied",
+            )
+            raise DeclassificationError(
+                f"unit {self._principal.name!r} lacks declassification for "
+                f"{sorted(label.uri for label in missing)}"
+            )
+        if add_set.integrity and not privileges.can_endorse(add_set):
+            self._audit.denied(
+                "store",
+                operation,
+                self._principal.name,
+                labels=LabelSet(add_set.integrity),
+                detail="endorsement denied",
+            )
+            raise EndorsementError(
+                f"unit {self._principal.name!r} lacks endorsement for "
+                f"{sorted(label.uri for label in add_set.integrity)}"
+            )
+        return base.union(add_set).difference(remove_set)

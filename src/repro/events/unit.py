@@ -1,0 +1,164 @@
+"""Event processing units (paper §4.3, Listing 1).
+
+A unit is one or more classes implementing the business logic of the
+application. Units register subscriptions during :meth:`Unit.setup` and
+communicate exclusively through labelled events and the labelled
+key-value store. The Python DSL mirrors the paper's Ruby one::
+
+    class DailyReport(Unit):
+        def setup(self):
+            self.subscribe("/patient_report", self.on_report, selector="type = 'cancer'")
+            self.subscribe("/next_day", self.on_next_day)
+
+        def on_report(self, event):
+            patients = self.store.get("patient_list", [])
+            patients.append(event["patient_id"])
+            self.store.set("patient_list", patients)
+
+        def on_next_day(self, event):
+            patients = self.store.get("patient_list", [])
+            self.publish(
+                "/daily_report",
+                payload=",".join(patients),
+                remove_all=True,                      # :remove => LABELS
+                add=["label:conf:ecric.org.uk/patient_list"],
+            )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Optional
+
+from repro.core.labels import Label, LabelSet
+from repro.events.context import current_labels
+from repro.events.event import Event
+from repro.exceptions import SafeWebError
+
+
+class Unit:
+    """Base class for event processing units."""
+
+    #: Override to decouple the unit's policy name from the class name.
+    unit_name: Optional[str] = None
+
+    def __init__(self):
+        self._services = None
+
+    # -- engine wiring -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        if self.unit_name:
+            return self.unit_name
+        return _snake_case(type(self).__name__)
+
+    def attach(self, services) -> None:
+        """Called by the engine before :meth:`setup`."""
+        self._services = services
+
+    def setup(self) -> None:
+        """Override to register subscriptions; default registers nothing."""
+
+    # -- the unit-facing API ----------------------------------------------------
+
+    def subscribe(
+        self,
+        topic: str,
+        handler: Optional[Callable[[Event], None]] = None,
+        selector: Optional[str] = None,
+        require_integrity: Iterable[Label | str] = (),
+    ):
+        """Register *handler* for *topic*; usable directly or as a decorator.
+
+        ``require_integrity`` lists integrity labels every delivered event
+        must carry — the §4.1 dual of clearance: it keeps low-integrity
+        data *out* of a component that only trusts endorsed inputs.
+        """
+        self._require_services()
+        integrity = LabelSet(require_integrity)
+        if handler is None:
+
+            def decorator(func: Callable[[Event], None]):
+                self._services.register_subscription(topic, func, selector, integrity)
+                return func
+
+            return decorator
+        self._services.register_subscription(topic, handler, selector, integrity)
+        return handler
+
+    def publish(
+        self,
+        topic: str,
+        attributes: Optional[dict] = None,
+        payload: Optional[str] = None,
+        add: Iterable[Label | str] = (),
+        remove: Iterable[Label | str] = (),
+        remove_all: bool = False,
+    ) -> Event:
+        """Publish an event carrying the ambient labels (±add/remove).
+
+        ``remove_all=True`` is the paper's ``:remove => _LABELS`` idiom:
+        strip every current ambient label (declassification privilege
+        over all of them required) before applying ``add``.
+        """
+        self._require_services()
+        return self._services.publish(topic, attributes, payload, add, remove, remove_all)
+
+    @property
+    def store(self):
+        """The unit's labelled key-value store."""
+        self._require_services()
+        return self._services.store
+
+    @property
+    def labels(self) -> LabelSet:
+        """The ambient ``_LABELS`` of the currently running callback."""
+        return current_labels()
+
+    @property
+    def principal(self):
+        """The unit's policy principal (privileged units self-check with it)."""
+        self._require_services()
+        return self._services.principal
+
+    def _require_services(self) -> None:
+        if self._services is None:
+            raise SafeWebError(
+                f"unit {self.name!r} is not registered with an engine"
+            )
+
+
+def unit_from_function(
+    topic: str,
+    selector: Optional[str] = None,
+    name: Optional[str] = None,
+) -> Callable[[Callable], Unit]:
+    """Build a single-subscription unit from a function.
+
+    >>> @unit_from_function("/patient_report", selector="type = 'cancer'")
+    ... def count_reports(unit, event):
+    ...     unit.store.set("count", unit.store.get("count", 0) + 1)
+
+    The decorated name is bound to a ready-to-register :class:`Unit`
+    instance whose policy name defaults to the function name.
+    """
+
+    def decorator(func: Callable) -> Unit:
+        class _FunctionUnit(Unit):
+            unit_name = name or func.__name__
+
+            def setup(self) -> None:
+                self.subscribe(topic, self._handle, selector=selector)
+
+            def _handle(self, event: Event) -> None:
+                func(self, event)
+
+        _FunctionUnit.__name__ = f"FunctionUnit_{func.__name__}"
+        return _FunctionUnit()
+
+    return decorator
+
+
+def _snake_case(name: str) -> str:
+    return re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", name).lower()

@@ -1,0 +1,204 @@
+"""Deployment of the MDT portal within ECRIC's network (paper Figure 4).
+
+Three zones:
+
+* **Intranet** — main database, event broker, event processing engine,
+  the writable application database;
+* **DMZ** — the read-only application database replica and the web
+  frontend;
+* **N3** — the NHS-wide network the MDT coordinators connect from.
+
+The firewall permits only unidirectional connections Intranet → DMZ and
+N3 → DMZ; :class:`Firewall` enforces that and every cross-zone hookup in
+:class:`MdtDeployment` declares itself, so a mis-wiring (say, the DMZ
+opening a connection into the Intranet) fails loudly with
+:class:`~repro.exceptions.FirewallError` (requirement S1).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.core.audit import AuditLog
+from repro.events.broker import Broker
+from repro.events.engine import EventProcessingEngine
+from repro.exceptions import FirewallError
+from repro.mdt.aggregator import BuggyDataAggregator, DataAggregator
+from repro.mdt.portal import build_portal
+from repro.mdt.producer import DataProducer
+from repro.mdt.storage_unit import DataStorage, define_application_views
+from repro.mdt.workload import Workload, WorkloadConfig, generate_workload
+from repro.storage.docstore import Database
+from repro.storage.replication import Replicator
+from repro.storage.webdb import WebDatabase
+from repro.web.http import TestClient
+
+
+class Zone:
+    """Network zones of Figure 4."""
+
+    INTRANET = "intranet"
+    DMZ = "dmz"
+    N3 = "n3"
+
+
+class Firewall:
+    """Direction-enforcing firewall between zones."""
+
+    DEFAULT_RULES: FrozenSet[Tuple[str, str]] = frozenset(
+        {
+            (Zone.INTRANET, Zone.DMZ),  # replication push
+            (Zone.N3, Zone.DMZ),  # users reaching the web frontend
+        }
+    )
+
+    def __init__(self, rules: Optional[Set[Tuple[str, str]]] = None):
+        self._rules = frozenset(rules) if rules is not None else self.DEFAULT_RULES
+        self.connections: list = []
+
+    def check(self, source: str, target: str) -> None:
+        """Authorise a connection attempt or raise :class:`FirewallError`."""
+        if source != target and (source, target) not in self._rules:
+            raise FirewallError(f"connection {source} -> {target} denied by firewall")
+        self.connections.append((source, target))
+
+    def permits(self, source: str, target: str) -> bool:
+        return source == target or (source, target) in self._rules
+
+
+class FirewalledReplicator(Replicator):
+    """A replicator whose every pass re-validates the firewall direction."""
+
+    def __init__(self, source: Database, target: Database, firewall: Firewall,
+                 source_zone: str, target_zone: str):
+        super().__init__(source, target)
+        self._firewall = firewall
+        self._zones = (source_zone, target_zone)
+
+    def replicate(self):
+        self._firewall.check(*self._zones)
+        return super().replicate()
+
+
+class MdtDeployment:
+    """The full Figure 4 system, wired and ready.
+
+    >>> deployment = MdtDeployment()
+    >>> deployment.run_pipeline()          # import → aggregate → replicate
+    >>> client = deployment.client_for("mdt1")
+    >>> client.get("/").status
+    200
+    """
+
+    def __init__(
+        self,
+        config: Optional[WorkloadConfig] = None,
+        workload: Optional[Workload] = None,
+        audit: Optional[AuditLog] = None,
+        aggregator_vulnerability: bool = False,
+        portal_vulnerability: Optional[str] = None,
+        check_labels: bool = True,
+        isolation: bool = True,
+        label_checks_in_broker: bool = True,
+        label_events: bool = True,
+    ):
+        self.audit = audit if audit is not None else AuditLog()
+        self.firewall = Firewall()
+        self.workload = workload if workload is not None else generate_workload(config)
+        self.directory = self.workload.directory
+
+        # --- Intranet ---------------------------------------------------------
+        self.main_db = self.workload.main_db
+        self.broker = Broker(audit=self.audit, label_checks=label_checks_in_broker,
+                             raise_errors=True)
+        self.engine = EventProcessingEngine(
+            broker=self.broker,
+            policy=self.workload.policy,
+            audit=self.audit,
+            isolation=isolation,
+            raise_callback_errors=True,
+        )
+        self.app_db = Database("mdt_app")
+        define_application_views(self.app_db)
+
+        self.producer = DataProducer(self.main_db, label_events=label_events)
+        aggregator_cls = BuggyDataAggregator if aggregator_vulnerability else DataAggregator
+        self.aggregator = aggregator_cls()
+        self.storage = DataStorage(self.app_db)
+        self.engine.register(self.producer)
+        self.engine.register(self.aggregator)
+        self.engine.register(self.storage)
+
+        # --- DMZ ---------------------------------------------------------------
+        self.dmz_db = Database("mdt_app_dmz", read_only=True)
+        define_application_views(self.dmz_db)
+        self.replicator = FirewalledReplicator(
+            self.app_db, self.dmz_db, self.firewall, Zone.INTRANET, Zone.DMZ
+        )
+        self.webdb = WebDatabase()
+        self.workload.populate_webdb(self.webdb)
+        self.portal, self.middleware = build_portal(
+            self.dmz_db,
+            self.webdb,
+            self.directory,
+            audit=self.audit,
+            vulnerability=portal_vulnerability,
+            check_labels=check_labels,
+        )
+
+    # -- pipeline drivers ---------------------------------------------------------
+
+    def import_data(self) -> None:
+        """Trigger the producer (Intranet-internal control event)."""
+        self.engine.publish("/control/import", publisher="scheduler")
+
+    def aggregate(self) -> None:
+        """Trigger per-MDT and per-region metric computation."""
+        for mdt_id in self.directory.mdt_ids():
+            self.engine.publish(
+                "/control/aggregate", {"mdt_id": mdt_id}, publisher="scheduler"
+            )
+        for region in self.directory.regions():
+            mdt_ids = ",".join(info.mdt_id for info in self.directory.in_region(region))
+            self.engine.publish(
+                "/control/aggregate_region",
+                {"region": region, "mdt_ids": mdt_ids},
+                publisher="scheduler",
+            )
+
+    def replicate(self) -> None:
+        """Push the application database across the firewall into the DMZ."""
+        self.replicator.replicate()
+
+    def run_pipeline(self) -> None:
+        """Import → aggregate → replicate: the full backend pass."""
+        self.import_data()
+        self.aggregate()
+        self.replicate()
+
+    # -- client access (N3 zone) -----------------------------------------------------
+
+    def client_for(self, username: str) -> TestClient:
+        """An in-process client for *username*, connecting N3 → DMZ."""
+        self.firewall.check(Zone.N3, Zone.DMZ)
+        return _AuthenticatedClient(self.portal, username, self.password_of(username))
+
+    def anonymous_client(self) -> TestClient:
+        self.firewall.check(Zone.N3, Zone.DMZ)
+        return TestClient(self.portal)
+
+    def password_of(self, username: str) -> str:
+        return self.workload.user_passwords[username]
+
+
+class _AuthenticatedClient(TestClient):
+    """TestClient that injects one user's Basic credentials."""
+
+    def __init__(self, app, username: str, password: str):
+        super().__init__(app)
+        self._auth = (username, password)
+
+    def request(self, method, path, headers=None, body="", auth=None):
+        return super().request(
+            method, path, headers=headers, body=body, auth=auth or self._auth
+        )

@@ -1,0 +1,186 @@
+"""Inter-regional federation (the paper's §7 future work).
+
+"Scaling up will involve creating separate, independent regional
+instances of SafeWeb, which can interact with each other in a secure
+fashion." This module implements that interaction for the data class
+policy P1 already permits to travel: *regional aggregates* (visible to
+all MDTs).
+
+Topology: every regional deployment runs a :class:`RegionalGateway`
+connected to a shared *national exchange* — a label-aware STOMP broker
+with its own policy. The gateway
+
+* **exports** the local region's aggregate metrics, labelled with the
+  regional aggregate label, onto the exchange;
+* **imports** other regions' aggregates from the exchange into the local
+  application database (via its replication ingress), so local portals
+  serve them like home-grown metrics.
+
+Patient-level and MDT-level data never reaches the gateway's exchange
+subscriptions: the exchange's policy clears gateways for
+``label:conf:ecric.org.uk/region_agg`` only, so a buggy gateway that
+tried to export finer-grained data would publish events the other
+gateways can never receive — and its own subscription could never leak
+them back out.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.core.labels import LabelSet
+from repro.core.policy import Policy, PolicyDocument, UnitSpec
+from repro.events.broker import Broker
+from repro.events.event import Event
+from repro.events.stomp.bridge import StompBrokerBridge
+from repro.events.stomp.server import StompServer
+from repro.mdt.deployment import MdtDeployment
+from repro.mdt.labels import region_aggregate_label, region_aggregate_root
+
+EXCHANGE_TOPIC = "/national/region_metric"
+
+
+def exchange_policy(region_names: List[str]) -> Policy:
+    """The national exchange's policy: one gateway unit per region,
+    cleared for regional aggregates only."""
+    document = PolicyDocument(authority="ecric.org.uk")
+    for region in region_names:
+        document.units[f"gateway_{region}"] = UnitSpec(
+            name=f"gateway_{region}",
+            grants={"clearance": [region_aggregate_root().uri]},
+        )
+    return Policy(document)
+
+
+class NationalExchange:
+    """The shared broker regional instances meet on."""
+
+    def __init__(self, regions: List[str], host: str = "127.0.0.1", port: int = 0):
+        self.broker = Broker(threaded=True)
+        self.server = StompServer(
+            self.broker, host=host, port=port, policy=exchange_policy(regions)
+        )
+
+    def start(self) -> "NationalExchange":
+        self.server.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.stop()
+        self.broker.stop()
+
+    @property
+    def address(self):
+        return self.server.address
+
+
+class RegionalGateway:
+    """One region's connection to the national exchange."""
+
+    def __init__(
+        self,
+        deployment: MdtDeployment,
+        region: str,
+        exchange: NationalExchange,
+        local_region_name: Optional[str] = None,
+    ):
+        self.deployment = deployment
+        #: The region's *federated* identity on the exchange.
+        self.region = region
+        #: What the local workload calls its region (independent regional
+        #: instances each number their own regions from 1).
+        self.local_region_name = local_region_name or region
+        host, port = exchange.address
+        self._bridge = StompBrokerBridge(host, port, login=f"gateway_{region}")
+        self.imported: List[str] = []
+
+    def start(self) -> "RegionalGateway":
+        self._bridge.connect()
+        self._bridge.subscribe(
+            EXCHANGE_TOPIC,
+            self._on_foreign_metric,
+            principal=f"gateway_{self.region}",
+            selector=f"region <> '{self.region}'",
+        )
+        return self
+
+    def stop(self) -> None:
+        self._bridge.close()
+
+    # -- export ----------------------------------------------------------------
+
+    def export_region_metric(self) -> Optional[Event]:
+        """Publish the local regional aggregate onto the exchange."""
+        document = self.deployment.app_db.get_or_none(
+            f"metric-region-{self.local_region_name}"
+        )
+        if document is None:
+            return None
+        event = Event(
+            EXCHANGE_TOPIC,
+            {
+                "region": self.region,
+                "mdt_count": str(document.get("mdt_count", "0")),
+                "completeness": str(document.get("completeness", "")),
+                "survival": str(document.get("survival", "")),
+            },
+            labels=LabelSet([region_aggregate_label(self.region)]),
+        )
+        self._bridge.publish(event)
+        self._bridge.drain()
+        return event
+
+    # -- import -----------------------------------------------------------------
+
+    def _on_foreign_metric(self, event: Event) -> None:
+        region = event["region"]
+        labels = LabelSet([region_aggregate_label(region)])
+        from repro.taint.labeled import with_labels
+
+        document = {
+            "type": "region_metric",
+            "metric_region": region,
+            "mdt_count": event.get("mdt_count", "0"),
+            "completeness": with_labels(event.get("completeness", ""), labels),
+            "survival": with_labels(event.get("survival", ""), labels),
+            "federated_from": region,
+        }
+        # Imported documents enter through the replication ingress: the
+        # DMZ replica stays read-only to everything else.
+        from repro.taint import json_codec
+
+        plain, sidecar = json_codec.encode_document(document)
+        doc_id = f"metric-region-{region}"
+        self.deployment.app_db.replication_put(doc_id, f"1-federated-{event.event_id}", plain, sidecar)
+        self.deployment.replicate()
+        self.imported.append(region)
+
+
+def federate(
+    deployments: dict,
+    exchange: NationalExchange,
+    settle_seconds: float = 2.0,
+    local_region_names: Optional[dict] = None,
+) -> dict:
+    """Wire gateways for every deployment and exchange current metrics.
+
+    Returns the gateways, started and synchronised once; callers drive
+    further rounds with :meth:`RegionalGateway.export_region_metric`.
+    """
+    local_region_names = local_region_names or {}
+    gateways = {
+        region: RegionalGateway(
+            deployment, region, exchange, local_region_names.get(region)
+        ).start()
+        for region, deployment in deployments.items()
+    }
+    for gateway in gateways.values():
+        gateway.export_region_metric()
+    deadline = time.monotonic() + settle_seconds
+    expected = len(deployments) - 1
+    while time.monotonic() < deadline:
+        if all(len(g.imported) >= expected for g in gateways.values()):
+            break
+        time.sleep(0.01)
+    return gateways

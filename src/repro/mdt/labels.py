@@ -1,0 +1,61 @@
+"""The MDT application's label vocabulary (paper §3.1, §4.1).
+
+Three kinds of confidentiality labels enforce policy P1:
+
+* ``label:conf:ecric.org.uk/mdt/<id>`` — patient-level data of one MDT
+  ("for the sake of simplicity, we use only MDT-level labels as these
+  are sufficient to satisfy our security requirements", §5.1);
+* ``label:conf:ecric.org.uk/mdt_agg/<id>`` — an MDT-level aggregate,
+  readable by every MDT in the same region;
+* ``label:conf:ecric.org.uk/region_agg/<region>`` — a regional
+  aggregate, readable by all MDTs.
+
+Patient-level labels (``…/patient/<id>``) exist for deployments that
+need finer granularity, and ``label:int:ecric.org.uk/mdt`` is the
+application-wide integrity label from §4.1.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import Label, conf_label, int_label
+
+#: The label authority for the whole application.
+AUTHORITY = "ecric.org.uk"
+
+
+def patient_label(patient_id: str) -> Label:
+    """Per-patient confidentiality, e.g. ``label:conf:ecric.org.uk/patient/33812769``."""
+    return conf_label(AUTHORITY, "patient", str(patient_id))
+
+
+def mdt_label(mdt_id: str) -> Label:
+    """Per-MDT confidentiality over patient-level data."""
+    return conf_label(AUTHORITY, "mdt", str(mdt_id))
+
+
+def mdt_label_root() -> Label:
+    """Hierarchical root covering every MDT label (policy grants)."""
+    return conf_label(AUTHORITY, "mdt")
+
+
+def mdt_aggregate_label(mdt_id: str) -> Label:
+    """MDT-level aggregate confidentiality (region-visible)."""
+    return conf_label(AUTHORITY, "mdt_agg", str(mdt_id))
+
+
+def mdt_aggregate_root() -> Label:
+    return conf_label(AUTHORITY, "mdt_agg")
+
+
+def region_aggregate_label(region: str) -> Label:
+    """Regional aggregate confidentiality (visible to all MDTs)."""
+    return conf_label(AUTHORITY, "region_agg", str(region))
+
+
+def region_aggregate_root() -> Label:
+    return conf_label(AUTHORITY, "region_agg")
+
+
+def application_integrity_label() -> Label:
+    """``label:int:ecric.org.uk/mdt`` — data vouched for by the MDT app."""
+    return int_label(AUTHORITY, "mdt")

@@ -1,0 +1,104 @@
+"""MDT data-quality and survival metrics (functional requirements F2/F3).
+
+Doctors consult "the level of completeness of the provided information or
+projected survival statistics of patients under treatment" and compare
+them with regional figures. The formulas are synthetic (the paper does
+not publish ECRIC's), but the *computation path* is the part under test:
+metrics are derived from labeled record fields with ordinary arithmetic,
+so by §4.4 propagation the results automatically carry the union of the
+source labels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.taint.number import labeled_sum
+
+#: Record fields counted towards completeness, mirroring the producer's
+#: event attributes.
+COMPLETENESS_FIELDS = (
+    "patient_name",
+    "date_of_birth",
+    "nhs_number",
+    "site",
+    "stage",
+    "diagnosis_date",
+)
+
+#: Synthetic five-year survival projection by stage at diagnosis (%).
+SURVIVAL_BY_STAGE = {"1": 92.0, "2": 78.0, "3": 51.0, "4": 22.0}
+
+
+def record_completeness(record: Dict[str, Any]) -> float:
+    """Fraction (0..1) of the tracked fields that are filled in."""
+    filled = sum(1 for field in COMPLETENESS_FIELDS if str(record.get(field, "")) != "")
+    return filled / len(COMPLETENESS_FIELDS)
+
+
+def completeness_percentage(records: Iterable[Dict[str, Any]]) -> Any:
+    """Average completeness over *records*, as a (labeled) percentage.
+
+    Division and multiplication run through the labeled numeric types, so
+    the result carries every record's labels.
+    """
+    records = list(records)
+    if not records:
+        return 0.0
+    total = labeled_sum(
+        labeled_sum(
+            1 for field in COMPLETENESS_FIELDS if str(record.get(field, "")) != ""
+        )
+        for record in records
+    )
+    possible = len(records) * len(COMPLETENESS_FIELDS)
+    return total / possible * 100
+
+
+def projected_survival(records: Iterable[Dict[str, Any]]) -> Any:
+    """Mean projected survival (%) over staged records; unstaged skipped."""
+    values: List[Any] = []
+    for record in records:
+        stage = record.get("stage", "")
+        plain_stage = str(stage)
+        if plain_stage in SURVIVAL_BY_STAGE:
+            # Multiplying a labeled 1 by the constant moves the record's
+            # labels onto the contribution. The labeled value must sit on
+            # the LEFT: plain-float-on-the-left is the documented false
+            # negative of the numeric tracking.
+            weight = record_presence_weight(record)
+            values.append(weight * SURVIVAL_BY_STAGE[plain_stage])
+    if not values:
+        return 0.0
+    return labeled_sum(values) / len(values)
+
+
+def record_presence_weight(record: Dict[str, Any]) -> Any:
+    """A labeled ``1`` carrying the record's labels.
+
+    Metric aggregation must stay as confidential as its inputs even when
+    the arithmetic only uses a constant per record; deriving the weight
+    from an actual field value keeps the label chain honest.
+    """
+    stage = record.get("stage", "")
+    # len(str)//max(len,1) is 1 for non-empty values and carries labels.
+    length = len(str(stage))
+    if length == 0:
+        return 1
+    marker = str(stage)[:1]  # labeled slice
+    return len_preserving_one(marker)
+
+
+def len_preserving_one(marker: Any) -> Any:
+    """Turn any single-character labeled string into a labeled ``1``."""
+    from repro.taint.labeled import labels_of, with_labels
+
+    return with_labels(1, labels_of(marker))
+
+
+def mean(values: Iterable[Any]) -> Any:
+    """Label-preserving arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return labeled_sum(values) / len(values)

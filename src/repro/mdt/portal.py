@@ -1,0 +1,260 @@
+"""The MDT web portal frontend (paper §5.1, Listings 2 and 3).
+
+A Sinatra-style application served from the DMZ against the read-only
+application database replica. Routes:
+
+* ``GET /``                — the front page: the user's MDT overview
+  (patients + data-quality metrics), rendered with the ERB-like engine —
+  the page the §5.3 page-generation benchmark measures;
+* ``GET /records/:mid``    — Listing 2: JSON patient records of an MDT;
+* ``GET /metrics/:mid``    — MDT-level aggregates (F2);
+* ``GET /region/:region``  — regional aggregates (F3);
+* ``GET /compare/:mid``    — HTML comparison of an MDT against its
+  region (F3);
+* ``POST /feedback``       — F1's feedback hook (acknowledged only;
+  handling is external, e.g. secure NHS email);
+* ``POST /admin/mdts``     — the trusted admin surface that assigns
+  privileges to new MDTs (the paper's 142 audited frontend LOC).
+
+``build_portal`` accepts a *vulnerability* name so the §5.2 evaluation
+can inject each CVE-style bug; with the taint-tracking middleware
+installed, none of them disclose data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.audit import AuditLog
+from repro.exceptions import SafeWebError
+from repro.mdt.labels import mdt_label
+from repro.mdt.workload import MdtDirectory
+from repro.storage.docstore import Database
+from repro.storage.webdb import WebDatabase
+from repro.taint import json_codec
+from repro.web.auth import BasicAuthenticator
+from repro.web.framework import SafeWebApp, halt
+from repro.web.middleware import SafeWebMiddleware, timed
+from repro.web.request import Request
+from repro.web.response import Response
+from repro.web.templates import Template
+
+#: The §5.2 vulnerability injections understood by :func:`build_portal`.
+PORTAL_VULNERABILITIES = (
+    "omitted_access_check",  # Listing 2 line 5 removed
+    "access_check_error",  # case-insensitive username lookup
+    "inappropriate_access_check",  # Listing 3 line 7 (clinic equality) removed
+)
+
+FRONT_PAGE_TEMPLATE = Template(
+    """<!DOCTYPE html>
+<html>
+<head><title>MDT Portal</title></head>
+<body>
+<h1>MDT <%= mdt_id %> &mdash; <%= hospital %> (<%= clinic %>)</h1>
+<h2>Data quality</h2>
+<p>Records: <%= record_count %></p>
+<p>Completeness: <%= completeness %>%</p>
+<p>Projected survival: <%= survival %>%</p>
+<h2>Patients</h2>
+<table>
+<tr><th>Name</th><th>Site</th><th>Stage</th><th>Tumours</th></tr>
+<% for record in records %>
+<tr>
+<td><%= record.get("patient_name", "") %></td>
+<td><%= record.get("site", "") %></td>
+<td><%= record.get("stage", "") %></td>
+<td><%= record.get("tumour_count", "") %></td>
+</tr>
+<% end %>
+</table>
+</body>
+</html>
+""",
+    name="front-page",
+)
+
+COMPARE_TEMPLATE = Template(
+    """<!DOCTYPE html>
+<html>
+<head><title>MDT <%= mdt_id %> vs <%= region %></title></head>
+<body>
+<h1>MDT <%= mdt_id %> compared with <%= region %></h1>
+<table>
+<tr><th></th><th>MDT</th><th>Region</th></tr>
+<tr><td>Completeness</td><td><%= mdt_completeness %>%</td><td><%= region_completeness %>%</td></tr>
+<tr><td>Survival</td><td><%= mdt_survival %>%</td><td><%= region_survival %>%</td></tr>
+</table>
+</body>
+</html>
+""",
+    name="compare-page",
+)
+
+
+def build_portal(
+    app_db: Database,
+    webdb: WebDatabase,
+    directory: MdtDirectory,
+    audit: Optional[AuditLog] = None,
+    vulnerability: Optional[str] = None,
+    check_labels: bool = True,
+    check_taint: bool = True,
+) -> Tuple[SafeWebApp, SafeWebMiddleware]:
+    """Assemble the portal app with the SafeWeb middleware installed."""
+    if vulnerability is not None and vulnerability not in PORTAL_VULNERABILITIES:
+        raise SafeWebError(f"unknown portal vulnerability {vulnerability!r}")
+
+    app = SafeWebApp("mdt-portal")
+    authenticator = BasicAuthenticator(webdb)
+    middleware = SafeWebMiddleware(
+        authenticator,
+        audit=audit,
+        public_paths={"/health"},
+        check_labels=check_labels,
+        check_taint=check_taint,
+    )
+    middleware.install(app)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def check_privileges(request: Request, mid: str) -> bool:
+        """Listing 3: the application-level access check."""
+        info = directory.find_or_none(mid)
+        if info is None:
+            return False
+        if vulnerability == "access_check_error":
+            # Listing 3 line 5 modified: user lookup ignores case, so two
+            # accounts differing only in case share ACL rows.
+            user_id = webdb.user_id_case_insensitive(request.user.name)
+        else:
+            user_id = webdb.user_id(request.user.name)
+        if user_id is None:
+            return False
+        if webdb.is_admin(user_id):
+            return True
+        conditions = {
+            "u_id": user_id,
+            "hospital": info.hospital,
+            "clinic": info.clinic,
+        }
+        if vulnerability == "inappropriate_access_check":
+            # Listing 3 line 7 removed: any MDT in the same hospital passes.
+            conditions.pop("clinic")
+        return webdb.count_privileges(**conditions) > 0
+
+    def fetch_records(mid: str) -> list:
+        rows = app_db.view("records/by_mid", key=str(mid), include_docs=True)
+        return [row.value for row in rows]
+
+    def fetch_metric(doc_id: str) -> Optional[dict]:
+        return app_db.get_or_none(doc_id)
+
+    # -- routes -------------------------------------------------------------------
+
+    @app.get("/health")
+    def health(request: Request):
+        return Response("ok", content_type="text/plain")
+
+    @app.get("/")
+    def front_page(request: Request):
+        mid = request.user.mdt_id or ""
+        info = directory.find_or_none(mid)
+        if info is None:
+            halt(404, "no MDT associated with this account")
+        records = fetch_records(mid)
+        metric = fetch_metric(f"metric-mdt-{mid}") or {}
+        with timed(request, "template_rendering"):
+            page = FRONT_PAGE_TEMPLATE.render(
+                mdt_id=mid,
+                hospital=info.hospital,
+                clinic=info.clinic,
+                record_count=metric.get("record_count", "0"),
+                completeness=metric.get("completeness", "n/a"),
+                survival=metric.get("survival", "n/a"),
+                records=records,
+            )
+        return page
+
+    @app.get("/records/:mid")
+    def records(request: Request):
+        # Listing 2, faithfully: content_type :json; privilege check;
+        # Records.by_mid; process; to_json.
+        mid = request.params["mid"]
+        if vulnerability != "omitted_access_check":
+            if not check_privileges(request, mid):
+                halt(403, "forbidden")
+        result = fetch_records(mid)
+        result.sort(key=lambda record: str(record.get("patient_id", "")))
+        return Response(json_codec.dumps(result), content_type="application/json")
+
+    @app.get("/metrics/:mid")
+    def metrics(request: Request):
+        mid = request.params["mid"]
+        info = directory.find_or_none(mid)
+        if info is None:
+            halt(404, "unknown MDT")
+        # MDT-level aggregates are region-visible (policy P1).
+        if request.user.region != info.region:
+            halt(403, "forbidden")
+        metric = fetch_metric(f"metric-mdt-{mid}")
+        if metric is None:
+            halt(404, "metrics not yet computed")
+        return Response(json_codec.dumps(metric), content_type="application/json")
+
+    @app.get("/region/:region")
+    def region_metrics(request: Request):
+        metric = fetch_metric(f"metric-region-{request.params['region']}")
+        if metric is None:
+            halt(404, "metrics not yet computed")
+        return Response(json_codec.dumps(metric), content_type="application/json")
+
+    @app.get("/compare/:mid")
+    def compare(request: Request):
+        mid = request.params["mid"]
+        info = directory.find_or_none(mid)
+        if info is None:
+            halt(404, "unknown MDT")
+        if request.user.region != info.region:
+            halt(403, "forbidden")
+        mdt_metric = fetch_metric(f"metric-mdt-{mid}") or {}
+        region_metric = fetch_metric(f"metric-region-{info.region}") or {}
+        with timed(request, "template_rendering"):
+            page = COMPARE_TEMPLATE.render(
+                mdt_id=mid,
+                region=info.region,
+                mdt_completeness=mdt_metric.get("completeness", "n/a"),
+                mdt_survival=mdt_metric.get("survival", "n/a"),
+                region_completeness=region_metric.get("completeness", "n/a"),
+                region_survival=region_metric.get("survival", "n/a"),
+            )
+        return page
+
+    @app.post("/feedback")
+    def feedback(request: Request):
+        # F1: feedback itself is handled externally (secure NHS email);
+        # the portal only acknowledges receipt.
+        if not request.params.get("message"):
+            halt(400, "empty feedback")
+        return 202, "feedback received"
+
+    @app.post("/admin/mdts")
+    def create_mdt_user(request: Request):
+        # The paper's trusted frontend code: assigning privileges to new
+        # MDTs (142 LOC in the original; audited, not protected by IFC).
+        user_id = webdb.user_id(request.user.name)
+        if user_id is None or not webdb.is_admin(user_id):
+            halt(403, "admin only")
+        mid = str(request.params.get("mdt_id", ""))
+        username = str(request.params.get("username", ""))
+        password = str(request.params.get("password", ""))
+        info = directory.find_or_none(mid)
+        if info is None or not username or not password:
+            halt(400, "mdt_id, username and password required")
+        new_id = webdb.add_user(username, password, mdt=mid, region=info.region)
+        webdb.grant_label_privilege(new_id, "clearance", mdt_label(mid).uri)
+        webdb.grant_label_privilege(new_id, "declassification", mdt_label(mid).uri)
+        webdb.grant_acl(new_id, hospital=info.hospital, clinic=info.clinic)
+        return 201, "mdt user created"
+
+    return app, middleware

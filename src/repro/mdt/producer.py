@@ -1,0 +1,78 @@
+"""The data producer unit (paper §5.1, unit (a)).
+
+A *privileged* unit: it needs I/O to read the main ECRIC database, so it
+runs outside the IFC jail (the engine's ``$SAFE=0`` mode) and its only
+jail-bypassing power is reading unlabelled source data. It labels every
+case record according to the treating MDT and publishes it as an event —
+after which nothing downstream needs to be trusted to keep the data
+confidential.
+
+Imports are triggered by ``/control/import`` events (the paper's
+"periodically reads"), optionally scoped to one MDT via an ``mdt_id``
+attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.unit import Unit
+from repro.mdt.labels import mdt_label, patient_label
+from repro.storage.maindb import MainDatabase
+
+
+class DataProducer(Unit):
+    """Reads the main database and publishes labelled case events."""
+
+    unit_name = "data_producer"
+
+    def __init__(
+        self,
+        main_db: MainDatabase,
+        include_patient_labels: bool = False,
+        report_topic: str = "/patient_report",
+        label_events: bool = True,
+    ):
+        super().__init__()
+        self._main_db = main_db
+        #: §5.1: "we use only MDT-level labels as these are sufficient";
+        #: flip this on for per-patient granularity.
+        self._include_patient_labels = include_patient_labels
+        self._report_topic = report_topic
+        #: ``False`` builds the paper's "without SafeWeb" baseline: events
+        #: flow unlabelled and nothing downstream pays tracking costs.
+        self._label_events = label_events
+        self.events_published = 0
+
+    def setup(self) -> None:
+        self.subscribe("/control/import", self.on_import)
+
+    def on_import(self, event) -> None:
+        self.import_cases(event.get("mdt_id"))
+
+    def import_cases(self, mdt_id: Optional[str] = None) -> int:
+        """Publish one labelled event per case record; returns the count.
+
+        Case numbering restarts per MDT: ``local_case_number`` is the
+        within-MDT sequence the hospital uses on its paper forms, which
+        is exactly the attribute a buggy aggregator might match on
+        (the §5.2 design-error injection).
+        """
+        published = 0
+        mdt_ids = [mdt_id] if mdt_id is not None else self._main_db.mdt_ids()
+        for current_mdt in mdt_ids:
+            local_case_number = 0
+            for case in self._main_db.case_records(mdt_id=current_mdt):
+                local_case_number += 1
+                attributes = case.to_attributes()
+                attributes["type"] = "cancer"
+                attributes["local_case_number"] = str(local_case_number)
+                labels = []
+                if self._label_events:
+                    labels.append(mdt_label(case.patient.mdt_id))
+                    if self._include_patient_labels:
+                        labels.append(patient_label(case.patient.patient_id))
+                self.publish(self._report_topic, attributes, add=labels)
+                published += 1
+        self.events_published += published
+        return published

@@ -1,0 +1,107 @@
+"""The §5.2 vulnerability-injection catalogue.
+
+The paper assesses SafeWeb by injecting CVE-style implementation errors
+into the MDT application and observing that the middleware prevents the
+resulting disclosure. Four categories, each mirrored here as a
+deployment configuration; the evaluation harness builds a vulnerable
+deployment per entry and verifies both halves of the claim:
+
+1. *without* SafeWeb's checks the bug really discloses data (the
+   injection is live), and
+2. *with* SafeWeb the disclosure is blocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.mdt.deployment import MdtDeployment
+from repro.mdt.workload import Workload, WorkloadConfig, generate_workload
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """One injected bug category from §5.2."""
+
+    name: str
+    title: str
+    cve_examples: tuple
+    description: str
+    portal_vulnerability: Optional[str] = None
+    aggregator_vulnerability: bool = False
+
+
+VULNERABILITIES: Dict[str, Vulnerability] = {
+    vulnerability.name: vulnerability
+    for vulnerability in (
+        Vulnerability(
+            name="omitted_access_check",
+            title="Omitted Access Checks",
+            cve_examples=("CVE-2011-0701", "CVE-2010-2353", "CVE-2010-0752"),
+            description=(
+                "The MDT privilege check preceding patient-detail filtering "
+                "is removed (Listing 2, line 5): any authenticated user can "
+                "request any MDT's records."
+            ),
+            portal_vulnerability="omitted_access_check",
+        ),
+        Vulnerability(
+            name="access_check_error",
+            title="Errors in Access Checks",
+            cve_examples=("CVE-2011-0449", "CVE-2010-3092", "CVE-2010-4403"),
+            description=(
+                "The user lookup in the access check ignores username case "
+                "(Listing 3, line 5): accounts differing only in case share "
+                "each other's application-level privileges."
+            ),
+            portal_vulnerability="access_check_error",
+        ),
+        Vulnerability(
+            name="inappropriate_access_check",
+            title="Inappropriate Access Checks",
+            cve_examples=("CVE-2010-4775", "CVE-2009-2431"),
+            description=(
+                "The clinic-equality condition is removed from "
+                "check_privileges (Listing 3, line 7): any MDT can pass the "
+                "check for every MDT in the same hospital."
+            ),
+            portal_vulnerability="inappropriate_access_check",
+        ),
+        Vulnerability(
+            name="design_error",
+            title="Design Errors",
+            cve_examples=("CVE-2011-0899", "CVE-2010-3933"),
+            description=(
+                "The data aggregator matches case events by local case "
+                "number only, ignoring the hospital of origin: generated "
+                "records mix data of different MDTs."
+            ),
+            aggregator_vulnerability=True,
+        ),
+    )
+}
+
+
+def build_vulnerable_deployment(
+    name: str,
+    config: Optional[WorkloadConfig] = None,
+    workload: Optional[Workload] = None,
+    check_labels: bool = True,
+) -> MdtDeployment:
+    """A deployment with one §5.2 bug injected.
+
+    ``check_labels=False`` builds the *unprotected* variant used to show
+    the injection genuinely discloses data without the safety net.
+    """
+    vulnerability = VULNERABILITIES[name]
+    if workload is None:
+        workload = generate_workload(config)
+    deployment = MdtDeployment(
+        workload=workload,
+        portal_vulnerability=vulnerability.portal_vulnerability,
+        aggregator_vulnerability=vulnerability.aggregator_vulnerability,
+        check_labels=check_labels,
+    )
+    deployment.run_pipeline()
+    return deployment

@@ -1,0 +1,34 @@
+"""Storage substrates (paper §5.1, Figure 4).
+
+The MDT deployment uses three stores, all reproduced here:
+
+* the **application database** — CouchDB in the paper; a document store
+  with ``_id``/``_rev`` MVCC, map views and a changes feed
+  (:mod:`repro.storage.docstore`), with CouchDB-style push replication
+  (:mod:`repro.storage.replication`) and a CouchRest-like model layer
+  (:mod:`repro.storage.couchrest`);
+* the **web database** — SQLite, holding users, privileges and sessions
+  (:mod:`repro.storage.webdb`);
+* the **main cancer registration database** — simulated relational store
+  of patients/tumours/treatments (:mod:`repro.storage.maindb`).
+"""
+
+from repro.storage.docstore import Database, DocumentStore
+from repro.storage.replication import ReplicationResult, Replicator, replicate
+from repro.storage.couchrest import Model
+from repro.storage.webdb import WebDatabase
+from repro.storage.maindb import MainDatabase, Patient, Treatment, Tumour
+
+__all__ = [
+    "Database",
+    "DocumentStore",
+    "Replicator",
+    "ReplicationResult",
+    "replicate",
+    "Model",
+    "WebDatabase",
+    "MainDatabase",
+    "Patient",
+    "Tumour",
+    "Treatment",
+]

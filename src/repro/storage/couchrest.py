@@ -1,0 +1,158 @@
+"""A CouchRest-like model layer (paper §5.1).
+
+The MDT web frontend uses CouchRest to access CouchDB — typed model
+classes with view-backed finders such as ``Records.by_mid(key: mid)``
+(Listing 2, line 6). This module reproduces that surface::
+
+    class Records(Model):
+        view_by = ("mid", "hospital")
+
+    Records.use(database)
+    records = Records.by_mid(key="1")
+
+``view_by = ("mid",)`` auto-defines a view emitting ``doc["mid"]`` and a
+``by_mid`` classmethod. Instances behave like dictionaries whose values
+carry the labels persisted with the document, so application code that
+manipulates model fields stays inside the taint-tracking net.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import SafeWebError
+from repro.storage.docstore import Database
+
+_doc_ids = itertools.count(1)
+
+
+class Model:
+    """Base class for document-backed models."""
+
+    #: Attribute names to index; each generates a ``by_<name>`` finder.
+    view_by: ClassVar[Tuple[str, ...]] = ()
+    _database: ClassVar[Optional[Database]] = None
+
+    def __init__(self, attributes: Optional[Dict[str, Any]] = None, **kwargs):
+        merged = dict(attributes or {})
+        merged.update(kwargs)
+        self._attributes = merged
+
+    # -- class-level wiring ------------------------------------------------
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        cls._database = None
+        for attribute in cls.view_by:
+            setattr(cls, f"by_{attribute}", _make_finder(cls, attribute))
+
+    @classmethod
+    def use(cls, database: Database) -> None:
+        """Bind the model to a database and define its views."""
+        cls._database = database
+        for attribute in cls.view_by:
+            database.define_view(cls._view_name(attribute), _make_map(attribute))
+
+    @classmethod
+    def database(cls) -> Database:
+        if cls._database is None:
+            raise SafeWebError(f"model {cls.__name__} is not bound; call {cls.__name__}.use(db)")
+        return cls._database
+
+    @classmethod
+    def _view_name(cls, attribute: str) -> str:
+        return f"{cls.__name__.lower()}/by_{attribute}"
+
+    # -- instance behaviour ---------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._attributes[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._attributes[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._attributes.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._attributes
+
+    def keys(self):
+        return self._attributes.keys()
+
+    def items(self):
+        return self._attributes.items()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self._attributes)
+
+    @property
+    def doc_id(self) -> Optional[str]:
+        return self._attributes.get("_id")
+
+    @property
+    def rev(self) -> Optional[str]:
+        return self._attributes.get("_rev")
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Model):
+            return self._attributes == other._attributes
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._attributes!r})"
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self) -> "Model":
+        database = type(self).database()
+        if "_id" not in self._attributes:
+            self._attributes["_id"] = f"{type(self).__name__.lower()}-{next(_doc_ids)}"
+        outcome = database.put(self._attributes)
+        self._attributes["_rev"] = outcome["rev"]
+        return self
+
+    def destroy(self) -> None:
+        database = type(self).database()
+        if self.doc_id is None or self.rev is None:
+            raise SafeWebError("cannot destroy an unsaved model")
+        database.delete(self.doc_id, self.rev)
+
+    @classmethod
+    def find(cls, doc_id: str) -> "Model":
+        return cls(cls.database().get(doc_id))
+
+    @classmethod
+    def find_or_none(cls, doc_id: str) -> Optional["Model"]:
+        document = cls.database().get_or_none(doc_id)
+        return None if document is None else cls(document)
+
+    @classmethod
+    def all(cls) -> List["Model"]:
+        return [cls(document) for document in cls.database().all_docs()]
+
+    @classmethod
+    def count(cls) -> int:
+        return len(cls.database())
+
+
+def _make_map(attribute: str):
+    def map_function(document) -> Iterable:
+        if isinstance(document, dict) and attribute in document:
+            yield document[attribute], None
+
+    map_function.__name__ = f"map_by_{attribute}"
+    return map_function
+
+
+def _make_finder(cls, attribute: str):
+    def finder(model_cls, key: Any = None) -> List[Model]:
+        rows = model_cls.database().view(
+            model_cls._view_name(attribute), key=key, include_docs=True
+        )
+        return [model_cls(row.value) for row in rows]
+
+    finder.__name__ = f"by_{attribute}"
+    finder.__doc__ = f"Documents whose {attribute!r} equals *key* (all when omitted)."
+    return classmethod(finder)

@@ -1,0 +1,355 @@
+"""A CouchDB-like document store with label persistence.
+
+The MDT application stores processed records *with their security labels*
+in the application database (paper §5.1). Documents here are plain JSON
+values plus a label sidecar produced by
+:func:`repro.taint.json_codec.encode_document`; reads re-attach labels so
+the web frontend transparently receives labeled values (§4.4, step 2).
+
+Implemented CouchDB behaviours the reproduction relies on:
+
+* ``_id`` / ``_rev`` optimistic concurrency (MVCC): writes must present
+  the current revision or fail with :class:`DocumentConflict`;
+* map views (Python callables instead of JavaScript) queried by key,
+  maintained incrementally as documents change;
+* a monotonic changes feed, which replication consumes;
+* a read-only mode for the DMZ replica (security requirement S1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import DocumentConflict, DocumentNotFound, ReadOnlyError, SafeWebError
+from repro.taint import json_codec
+from repro.taint.labeled import labels_of, strip_labels
+
+
+@dataclass
+class _StoredDocument:
+    doc_id: str
+    rev: str
+    body: Any  # plain JSON value (no labels)
+    sidecar: Dict[str, List[str]]
+    deleted: bool = False
+
+
+@dataclass(frozen=True)
+class Change:
+    """One entry of the changes feed."""
+
+    seq: int
+    doc_id: str
+    rev: str
+    deleted: bool
+
+
+@dataclass(frozen=True)
+class ViewRow:
+    """One row of a view query result."""
+
+    doc_id: str
+    key: Any
+    value: Any
+
+
+def _next_rev(current: Optional[str], body: Any) -> str:
+    generation = 0
+    if current:
+        generation = int(current.split("-", 1)[0])
+    digest = hashlib.md5(json.dumps(body, sort_keys=True, default=str).encode()).hexdigest()[:16]
+    return f"{generation + 1}-{digest}"
+
+
+class Database:
+    """One named database inside a :class:`DocumentStore`."""
+
+    def __init__(self, name: str, read_only: bool = False):
+        self.name = name
+        self.read_only = read_only
+        self._lock = threading.RLock()
+        self._documents: Dict[str, _StoredDocument] = {}
+        self._seq = 0
+        self._changes: List[Change] = []
+        # view name -> (map function, doc_id -> [(key, value)])
+        self._views: Dict[str, Tuple[Callable, Dict[str, List[Tuple[Any, Any]]]]] = {}
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """Insert or update a document; returns ``{"id":…, "rev":…}``.
+
+        The document may contain labeled values anywhere; labels are
+        split into the sidecar before the plain body is stored, and the
+        presented ``_rev`` must match the stored revision (MVCC).
+        """
+        self._guard_writable()
+        if "_id" not in document:
+            raise SafeWebError("document requires an _id")
+        doc_id = strip_labels(str(document["_id"]))
+        presented_rev = document.get("_rev")
+        body = {k: v for k, v in document.items() if k not in ("_id", "_rev")}
+        plain, sidecar = json_codec.encode_document(body)
+        json.dumps(plain)  # eager validation: storable JSON only
+
+        with self._lock:
+            existing = self._documents.get(doc_id)
+            if existing is not None and not existing.deleted:
+                if presented_rev != existing.rev:
+                    raise DocumentConflict(
+                        f"revision mismatch for {doc_id!r}",
+                        doc_id=doc_id,
+                        current_rev=existing.rev,
+                    )
+                rev = _next_rev(existing.rev, plain)
+            else:
+                if presented_rev is not None and existing is None:
+                    raise DocumentConflict(
+                        f"document {doc_id!r} does not exist", doc_id=doc_id
+                    )
+                rev = _next_rev(existing.rev if existing else None, plain)
+            stored = _StoredDocument(doc_id, rev, plain, sidecar)
+            self._documents[doc_id] = stored
+            self._record_change(stored)
+            self._index_document(stored)
+        return {"id": doc_id, "rev": rev}
+
+    def delete(self, doc_id: str, rev: str) -> Dict[str, Any]:
+        self._guard_writable()
+        with self._lock:
+            existing = self._documents.get(doc_id)
+            if existing is None or existing.deleted:
+                raise DocumentNotFound(f"no document {doc_id!r}")
+            if existing.rev != rev:
+                raise DocumentConflict(
+                    f"revision mismatch for {doc_id!r}", doc_id=doc_id, current_rev=existing.rev
+                )
+            tombstone_rev = _next_rev(existing.rev, None)
+            stored = _StoredDocument(doc_id, tombstone_rev, None, {}, deleted=True)
+            self._documents[doc_id] = stored
+            self._record_change(stored)
+            self._index_document(stored)
+        return {"id": doc_id, "rev": tombstone_rev}
+
+    def replication_put(
+        self,
+        doc_id: str,
+        rev: str,
+        body: Any,
+        sidecar: Dict[str, List[str]],
+        deleted: bool = False,
+    ) -> None:
+        """Write a replicated revision verbatim (bypasses MVCC, not
+        read-only protection — the replica accepts pushes only through
+        :class:`~repro.storage.replication.Replicator`, which flips the
+        internal flag)."""
+        with self._lock:
+            stored = _StoredDocument(doc_id, rev, body, dict(sidecar), deleted)
+            self._documents[doc_id] = stored
+            self._record_change(stored)
+            self._index_document(stored)
+
+    def _guard_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyError(
+                f"database {self.name!r} is read-only (S1: DMZ replicas reject writes)"
+            )
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, doc_id: str) -> Dict[str, Any]:
+        """Fetch a document with labels re-attached."""
+        with self._lock:
+            stored = self._documents.get(doc_id)
+        if stored is None or stored.deleted:
+            raise DocumentNotFound(f"no document {doc_id!r}")
+        body = json_codec.decode_document(stored.body, stored.sidecar)
+        result = dict(body)
+        result["_id"] = stored.doc_id
+        result["_rev"] = stored.rev
+        return result
+
+    def get_or_none(self, doc_id: str) -> Optional[Dict[str, Any]]:
+        try:
+            return self.get(doc_id)
+        except DocumentNotFound:
+            return None
+
+    def __contains__(self, doc_id: str) -> bool:
+        with self._lock:
+            stored = self._documents.get(doc_id)
+        return stored is not None and not stored.deleted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for doc in self._documents.values() if not doc.deleted)
+
+    def all_doc_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                doc_id for doc_id, doc in self._documents.items() if not doc.deleted
+            )
+
+    def all_docs(self) -> List[Dict[str, Any]]:
+        return [self.get(doc_id) for doc_id in self.all_doc_ids()]
+
+    # -- views ---------------------------------------------------------------------
+
+    def define_view(self, name: str, map_function: Callable[[Dict[str, Any]], Iterable]) -> None:
+        """Register a map view.
+
+        *map_function* receives each (plain) document and yields
+        ``(key, value)`` pairs — the Python analogue of a CouchDB design
+        document's ``emit(key, value)``.
+        """
+        with self._lock:
+            index: Dict[str, List[Tuple[Any, Any]]] = {}
+            self._views[name] = (map_function, index)
+            for stored in self._documents.values():
+                self._index_one(name, stored)
+
+    def view(
+        self,
+        name: str,
+        key: Any = None,
+        include_docs: bool = False,
+    ) -> List[ViewRow]:
+        """Query a view, optionally filtered by exact key.
+
+        Values and (with ``include_docs``) documents come back with
+        labels re-attached, exactly like :meth:`get`.
+        """
+        with self._lock:
+            if name not in self._views:
+                raise DocumentNotFound(f"no view {name!r} in database {self.name!r}")
+            _map_function, index = self._views[name]
+            rows: List[ViewRow] = []
+            for doc_id in sorted(index):
+                for emitted_key, emitted_value in index[doc_id]:
+                    if key is not None and emitted_key != key:
+                        continue
+                    rows.append(ViewRow(doc_id, emitted_key, emitted_value))
+        if include_docs:
+            resolved = []
+            for row in rows:
+                document = self.get(row.doc_id)
+                resolved.append(ViewRow(row.doc_id, row.key, document))
+            return resolved
+        return [self._relabel_row(row) for row in rows]
+
+    def _relabel_row(self, row: ViewRow) -> ViewRow:
+        with self._lock:
+            stored = self._documents.get(row.doc_id)
+        if stored is None or not stored.sidecar:
+            return row
+        # Re-derive the emission from the labeled document so emitted
+        # values keep field labels.
+        labeled = json_codec.decode_document(stored.body, stored.sidecar)
+        map_function = None
+        for name, (candidate, index) in self._views.items():
+            if row.doc_id in index and (row.key, row.value) in index[row.doc_id]:
+                map_function = candidate
+                break
+        if map_function is None:
+            return row
+        for emitted_key, emitted_value in map_function(labeled):
+            if strip_labels(emitted_key) == row.key and strip_labels(emitted_value) == row.value:
+                return ViewRow(row.doc_id, emitted_key, emitted_value)
+        return row
+
+    def _index_document(self, stored: _StoredDocument) -> None:
+        for name in self._views:
+            self._index_one(name, stored)
+
+    def _index_one(self, name: str, stored: _StoredDocument) -> None:
+        map_function, index = self._views[name]
+        index.pop(stored.doc_id, None)
+        if stored.deleted:
+            return
+        emissions = []
+        document = dict(stored.body) if isinstance(stored.body, dict) else stored.body
+        if isinstance(document, dict):
+            document["_id"] = stored.doc_id
+        try:
+            for emitted in map_function(document):
+                emitted_key, emitted_value = emitted
+                emissions.append((strip_labels(emitted_key), strip_labels(emitted_value)))
+        except (KeyError, TypeError, AttributeError):
+            # CouchDB semantics: a map function that fails on a document
+            # simply emits nothing for it.
+            emissions = []
+        if emissions:
+            index[stored.doc_id] = emissions
+
+    # -- changes feed ------------------------------------------------------------------
+
+    def _record_change(self, stored: _StoredDocument) -> None:
+        self._seq += 1
+        self._changes.append(Change(self._seq, stored.doc_id, stored.rev, stored.deleted))
+
+    @property
+    def update_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def changes(self, since: int = 0) -> List[Change]:
+        """Changes after sequence *since*, deduplicated to the latest per doc."""
+        with self._lock:
+            recent = [change for change in self._changes if change.seq > since]
+        latest: Dict[str, Change] = {}
+        for change in recent:
+            latest[change.doc_id] = change
+        return sorted(latest.values(), key=lambda change: change.seq)
+
+    def raw_document(self, doc_id: str) -> Optional[_StoredDocument]:
+        """The stored form (replication reads this to push body+sidecar)."""
+        with self._lock:
+            return self._documents.get(doc_id)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def document_labels(self, doc_id: str) -> Any:
+        """The combined label set of a stored document."""
+        document = self.get(doc_id)
+        return labels_of({k: v for k, v in document.items() if k not in ("_id", "_rev")})
+
+
+class DocumentStore:
+    """A server holding named databases (the CouchDB instance analogue)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._databases: Dict[str, Database] = {}
+
+    def create(self, name: str, read_only: bool = False) -> Database:
+        with self._lock:
+            if name in self._databases:
+                raise SafeWebError(f"database {name!r} already exists")
+            database = Database(name, read_only=read_only)
+            self._databases[name] = database
+            return database
+
+    def get(self, name: str) -> Database:
+        with self._lock:
+            try:
+                return self._databases[name]
+            except KeyError:
+                raise DocumentNotFound(f"no database {name!r}") from None
+
+    def get_or_create(self, name: str, read_only: bool = False) -> Database:
+        with self._lock:
+            if name not in self._databases:
+                self._databases[name] = Database(name, read_only=read_only)
+            return self._databases[name]
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            self._databases.pop(name, None)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._databases)

@@ -1,0 +1,136 @@
+"""CouchDB-style push replication (paper §5.1, Figure 4).
+
+The MDT deployment runs two application database instances: one in the
+Intranet written by the storage unit, and a **read-only** replica in the
+DMZ read by the web frontend. The Intranet instance is periodically
+push-replicated to the DMZ — the only data flow crossing the firewall,
+and it flows strictly outward (requirement S1).
+
+Replication consumes the source's changes feed from a per-pair
+checkpoint, pushing body *and label sidecar* so confidentiality labels
+survive into the replica.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import ReplicationError
+from repro.storage.docstore import Database
+
+
+@dataclass
+class ReplicationResult:
+    """Summary of one replication pass."""
+
+    docs_written: int = 0
+    deletions: int = 0
+    start_seq: int = 0
+    end_seq: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return self.docs_written + self.deletions > 0
+
+
+@dataclass
+class Replicator:
+    """Push replication from *source* to *target* with checkpointing.
+
+    The target may be (and for the DMZ, is) a read-only database: the
+    replicator writes through :meth:`Database.replication_put`, the single
+    sanctioned ingress, preserving "read-only to everyone else".
+    """
+
+    source: Database
+    target: Database
+    _checkpoint: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def replicate(self) -> ReplicationResult:
+        """One push pass; returns what moved."""
+        if self.source is self.target:
+            raise ReplicationError("source and target are the same database")
+        with self._lock:
+            result = ReplicationResult(start_seq=self._checkpoint)
+            changes = self.source.changes(since=self._checkpoint)
+            for change in changes:
+                stored = self.source.raw_document(change.doc_id)
+                if stored is None:
+                    continue
+                self.target.replication_put(
+                    stored.doc_id,
+                    stored.rev,
+                    stored.body,
+                    stored.sidecar,
+                    deleted=stored.deleted,
+                )
+                if stored.deleted:
+                    result.deletions += 1
+                else:
+                    result.docs_written += 1
+                self._checkpoint = max(self._checkpoint, change.seq)
+            result.end_seq = self._checkpoint
+            return result
+
+    @property
+    def checkpoint(self) -> int:
+        with self._lock:
+            return self._checkpoint
+
+
+def replicate(source: Database, target: Database) -> ReplicationResult:
+    """One-shot push replication (fresh checkpoint: copies everything)."""
+    return Replicator(source, target).replicate()
+
+
+class ContinuousReplicator:
+    """Periodic push replication on a background thread.
+
+    The paper replicates "periodically"; the interval is configurable and
+    :meth:`wake` forces an immediate pass (used by tests and by the
+    storage unit after bursts of writes).
+    """
+
+    def __init__(self, source: Database, target: Database, interval: float = 1.0):
+        self._replicator = Replicator(source, target)
+        self._interval = interval
+        self._wakeup = threading.Event()
+        self._stopping = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.passes = 0
+        self.total_docs = 0
+
+    def start(self) -> "ContinuousReplicator":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="safeweb-replicator", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._wakeup.set()
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None
+
+    def wake(self) -> None:
+        self._wakeup.set()
+
+    def _loop(self) -> None:
+        while not self._stopping.is_set():
+            result = self._replicator.replicate()
+            self.passes += 1
+            self.total_docs += result.docs_written + result.deletions
+            self._wakeup.wait(self._interval)
+            self._wakeup.clear()
+
+    def replicate_now(self) -> ReplicationResult:
+        """Synchronous pass, regardless of the background schedule."""
+        return self._replicator.replicate()

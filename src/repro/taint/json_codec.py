@@ -1,0 +1,135 @@
+"""JSON encoding/decoding that carries labels across the serialisation gap.
+
+Two distinct needs in the middleware:
+
+1. **Response bodies** (frontend): ``dumps`` serialises a labeled object
+   graph and returns a :class:`LabeledStr` carrying the combination of
+   every label inside — so the middleware's response-time check sees the
+   full confidentiality of the JSON it is about to release (this is
+   exactly what makes the §5.2 "omitted access check" injection fail
+   safely: ``r.to_json`` stays labeled).
+
+2. **Documents at rest** (application database): labels must survive a
+   round trip through plain JSON storage. :func:`encode_document` splits
+   a labeled document into a plain JSON document plus a sidecar map of
+   RFC 6901 JSON pointers → label URIs; :func:`decode_document` re-labels
+   on the way out. The document store uses this pair so the frontend
+   transparently receives labeled values (§4.4 step 2).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.core.labels import LabelSet
+from repro.taint.labeled import is_labeled, labels_of, strip_labels, with_labels
+from repro.taint.string import LabeledStr, derive
+
+
+def dumps(value: Any, **kwargs) -> LabeledStr:
+    """``json.dumps`` returning a labeled string.
+
+    The result carries the IFC combination of every label in *value*, so
+    downstream checks treat the serialised form as confidential as its
+    most confidential field.
+    """
+    text = json.dumps(strip_labels(value), **kwargs)
+    return LabeledStr(text, labels=labels_of(value), user_taint=False)
+
+
+def loads(text: Any, **kwargs) -> Any:
+    """``json.loads`` that spreads the labels (and taint) of *text* onto
+    the decoded result."""
+    from repro.taint.labeled import is_user_tainted
+
+    value = json.loads(text, **kwargs)
+    labels = labels_of(text)
+    tainted = is_user_tainted(text)
+    if labels or tainted:
+        return with_labels(value, labels, user_taint=tainted)
+    return value
+
+
+# -- document sidecar encoding (RFC 6901 pointers) ---------------------------
+
+
+def _escape_pointer_token(token: str) -> str:
+    return token.replace("~", "~0").replace("/", "~1")
+
+
+def _unescape_pointer_token(token: str) -> str:
+    return token.replace("~1", "/").replace("~0", "~")
+
+
+def encode_document(document: Any) -> Tuple[Any, Dict[str, List[str]]]:
+    """Split a labeled document into (plain document, pointer → label URIs).
+
+    Only leaves with non-empty label sets appear in the sidecar, keeping
+    stored documents compact for mostly-public data.
+    """
+    sidecar: Dict[str, List[str]] = {}
+    _collect_labels(document, "", sidecar)
+    return strip_labels(document), sidecar
+
+
+def _collect_labels(value: Any, pointer: str, sidecar: Dict[str, List[str]]) -> None:
+    if is_labeled(value):
+        labels = labels_of(value)
+        if labels:
+            sidecar[pointer or ""] = labels.to_uris()
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _collect_labels(item, f"{pointer}/{_escape_pointer_token(str(key))}", sidecar)
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _collect_labels(item, f"{pointer}/{index}", sidecar)
+
+
+def decode_document(document: Any, sidecar: Dict[str, List[str]]) -> Any:
+    """Re-attach labels recorded by :func:`encode_document`."""
+    result = document
+    for pointer, uris in sidecar.items():
+        labels = LabelSet.from_uris(uris)
+        result = _apply_labels(result, _parse_pointer(pointer), labels)
+    return result
+
+
+def _parse_pointer(pointer: str) -> List[str]:
+    if pointer == "":
+        return []
+    if not pointer.startswith("/"):
+        raise ValueError(f"malformed JSON pointer {pointer!r}")
+    return [_unescape_pointer_token(token) for token in pointer.split("/")[1:]]
+
+
+def _apply_labels(value: Any, path: List[str], labels: LabelSet) -> Any:
+    if not path:
+        return with_labels(value, labels_of(value).union(labels))
+    head, rest = path[0], path[1:]
+    if isinstance(value, dict):
+        if head not in value:
+            return value  # stale pointer: sidecar refers to a removed field
+        updated = dict(value)
+        updated[head] = _apply_labels(value[head], rest, labels)
+        return updated
+    if isinstance(value, list):
+        index = int(head)
+        if index >= len(value):
+            return value
+        updated_list = list(value)
+        updated_list[index] = _apply_labels(value[index], rest, labels)
+        return updated_list
+    return value
+
+
+def document_labels(document: Any) -> LabelSet:
+    """The combined label set of every value in *document*."""
+    return labels_of(document)
+
+
+def to_json(value: Any, **kwargs) -> LabeledStr:
+    """Alias matching the paper's ``r.to_json`` idiom (Listing 2, line 8)."""
+    return dumps(value, **kwargs)

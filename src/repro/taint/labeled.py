@@ -1,0 +1,160 @@
+"""Label introspection and wrapping for arbitrary Python values.
+
+The functions here are the public seam between labeled values and the rest
+of the middleware: enforcement code calls :func:`labels_of` to read the
+labels on anything (labeled scalar, container of labeled scalars, plain
+value), and boundary code calls :func:`with_labels` / :func:`label` to
+wrap values fetched from labeled storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.core.labels import Label, LabelSet
+
+#: Attribute name that marks a labeled value. Kept obscure enough not to
+#: collide with application attributes, stable enough to test against.
+LABELS_ATTR = "_safeweb_labels"
+TAINT_ATTR = "_safeweb_user_taint"
+
+
+def is_labeled(value: Any) -> bool:
+    """True when *value* itself carries a label set (not via contents)."""
+    return hasattr(type(value), "__safeweb_labeled__")
+
+
+def labels_of(value: Any) -> LabelSet:
+    """The label set carried by *value*.
+
+    Scalars report their own labels. Containers (list/tuple/set/dict)
+    report the IFC *combination* of their contents — confidentiality
+    labels union, integrity labels intersect — because releasing a
+    container releases everything in it. Plain values report the empty
+    set.
+    """
+    direct = getattr(value, LABELS_ATTR, None)
+    if direct is not None:
+        return direct
+    if isinstance(value, dict):
+        return _combined_labels(list(value.keys()) + list(value.values()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return _combined_labels(value)
+    return LabelSet()
+
+
+def is_user_tainted(value: Any) -> bool:
+    """True when *value* (or any contained value) is unsanitised user input."""
+    if getattr(value, TAINT_ATTR, False):
+        return True
+    if isinstance(value, dict):
+        return any(is_user_tainted(v) for v in value.keys()) or any(
+            is_user_tainted(v) for v in value.values()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return any(is_user_tainted(item) for item in value)
+    return False
+
+
+def _combined_labels(values: Iterable[Any]) -> LabelSet:
+    values = list(values)
+    if not values:
+        return LabelSet()
+    result = labels_of(values[0])
+    for item in values[1:]:
+        result = result.combine(labels_of(item))
+    return result
+
+
+def combine_sources(*values: Any) -> Tuple[LabelSet, bool]:
+    """The (labels, user_taint) a value derived from *values* must carry.
+
+    Confidentiality labels are sticky (union), integrity labels fragile
+    (intersection), and the user-taint bit is sticky — exactly the §4.1
+    composition rules plus Ruby's taint semantics.
+    """
+    labels = _combined_labels(values)
+    taint = any(is_user_tainted(value) for value in values)
+    return labels, taint
+
+
+def label(value: Any, *labels: Label | str) -> Any:
+    """Attach additional labels to *value*, wrapping it if necessary.
+
+    Adding confidentiality labels never requires privilege (§4.1).
+    Containers are labeled leaf-by-leaf so later slicing and indexing
+    preserve per-value granularity.
+    """
+    return with_labels(value, labels_of(value).add(*labels))
+
+
+def with_labels(value: Any, labels: LabelSet, user_taint: bool | None = None) -> Any:
+    """Return *value* rewrapped to carry exactly *labels*.
+
+    Supported scalars: ``str``, ``bytes``, ``int``, ``float`` (and their
+    labeled variants). ``bool`` and ``None`` cannot carry labels in
+    CPython (``bool`` cannot be subclassed); they pass through unchanged,
+    which is safe for the boolean itself but means code must not encode
+    secrets in ``bool``/``None`` — the same granularity floor the paper
+    has for Ruby's ``nil``/``true``/``false``. Containers are rebuilt
+    with every leaf labeled.
+    """
+    from repro.taint.number import LabeledFloat, LabeledInt
+    from repro.taint.string import LabeledBytes, LabeledStr
+
+    if user_taint is None:
+        user_taint = is_user_tainted(value)
+    if value is None or isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        return LabeledStr(value, labels=labels, user_taint=user_taint)
+    if isinstance(value, bytes):
+        return LabeledBytes(value, labels=labels, user_taint=user_taint)
+    if isinstance(value, int):
+        return LabeledInt(value, labels=labels, user_taint=user_taint)
+    if isinstance(value, float):
+        return LabeledFloat(value, labels=labels, user_taint=user_taint)
+    if isinstance(value, dict):
+        # Keys are structural identifiers: they stay unlabeled (matching
+        # the document sidecar, which records value labels only), though
+        # labels_of still reads any labels a key may carry.
+        return {
+            k: with_labels(v, labels_of(v).union(labels), is_user_tainted(v) or user_taint)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        rebuilt = (
+            with_labels(item, labels_of(item).union(labels), is_user_tainted(item) or user_taint)
+            for item in value
+        )
+        return type(value)(rebuilt)
+    raise TypeError(f"cannot attach labels to {type(value).__name__} values")
+
+
+def strip_labels(value: Any) -> Any:
+    """A plain copy of *value* with labels and taint removed.
+
+    This performs **no privilege check** — it is for serialisation *after*
+    an enforcement point has approved release (e.g. the frontend writes
+    the response body once the label check passed). Enforcement code must
+    use ``declassify`` helpers on the engine/middleware instead.
+    """
+    if value is None or isinstance(value, bool):
+        return value
+    if is_labeled(value):
+        # Unbound calls bypass the labeled overrides and, because the
+        # receiver is a subclass instance, CPython returns a fresh exact
+        # str/bytes/int/float rather than the instance itself.
+        if isinstance(value, str):
+            return str.__getitem__(value, slice(None))
+        if isinstance(value, bytes):
+            return bytes.__getitem__(value, slice(None))
+        if isinstance(value, float):
+            return float.__add__(value, 0.0)
+        if isinstance(value, int):
+            return int.__add__(value, 0)
+    if isinstance(value, dict):
+        return {strip_labels(k): strip_labels(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return type(value)(strip_labels(item) for item in value)
+    return value

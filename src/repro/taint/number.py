@@ -1,0 +1,329 @@
+"""Label-propagating numeric types (the analogue of Ruby ``Numeric`` patching).
+
+Numbers matter to the MDT portal's policy: aggregate metrics (completeness
+percentages, survival statistics) are numeric and carry MDT- or
+region-level confidentiality labels. Every arithmetic derivation keeps the
+labels, so an aggregate computed from labeled counts is itself labeled.
+
+Implementation note: each operator extracts an exact ``int``/``float``
+copy of ``self`` and delegates to :mod:`operator`, so mixed-type
+expressions (``LabeledInt + 2.5``) take CPython's normal coercion path and
+the result — whatever numeric type it is — is wrapped with the combined
+labels afterwards. The one uncatchable case is a *plain* ``float`` on the
+left of a labeled ``int`` (``2.5 + labeled_int``): ``float.__add__``
+accepts the int subclass directly and no labeled hook runs. This is a
+documented false negative of the same kind the paper accepts (§3.2);
+using :class:`LabeledFloat` for fractional data avoids it entirely.
+
+``bool`` cannot be subclassed in CPython, so comparison results are plain;
+this is the granularity floor the paper also has — SafeWeb tracks explicit
+data flow, not implicit control-flow channels.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Iterable
+
+from repro.core.labels import LabelSet
+from repro.taint.labeled import LABELS_ATTR, TAINT_ATTR
+from repro.taint.string import LabeledStr, derive
+
+
+def _plain_int(value: int) -> int:
+    """An exact ``int`` copy of an int subclass instance."""
+    return int.__add__(value, 0)
+
+
+def _plain_float(value: float) -> float:
+    """An exact ``float`` copy of a float subclass instance."""
+    return float.__add__(value, 0.0)
+
+
+class LabeledInt(int):
+    """An ``int`` carrying security labels and a user-taint bit.
+
+    ``int`` is a variable-size type, so CPython forbids nonempty
+    ``__slots__`` here; instances carry a ``__dict__`` instead.
+    """
+
+    __safeweb_labeled__ = True
+
+    def __new__(cls, value=0, labels: LabelSet | Iterable = (), user_taint: bool = False):
+        instance = super().__new__(cls, value)
+        if not isinstance(labels, LabelSet):
+            labels = LabelSet(labels)
+        setattr(instance, LABELS_ATTR, labels)
+        setattr(instance, TAINT_ATTR, bool(user_taint))
+        return instance
+
+    @property
+    def labels(self) -> LabelSet:
+        return getattr(self, LABELS_ATTR)
+
+    @property
+    def user_tainted(self) -> bool:
+        return getattr(self, TAINT_ATTR)
+
+    @property
+    def plain(self) -> int:
+        """An exact ``int`` copy without labels (post-check serialisation)."""
+        return _plain_int(self)
+
+    def relabel(self, labels: LabelSet) -> "LabeledInt":
+        """A copy carrying exactly *labels* (caller performs privilege checks)."""
+        return LabeledInt(_plain_int(self), labels=labels, user_taint=self.user_tainted)
+
+    # -- binary operators (forward and reflected) ---------------------------
+
+    def _forward(self, op, other):
+        return derive(op(_plain_int(self), other), self, other)
+
+    def _reflected(self, op, other):
+        return derive(op(other, _plain_int(self)), self, other)
+
+    def __add__(self, other):
+        return self._forward(operator.add, other)
+
+    def __radd__(self, other):
+        return self._reflected(operator.add, other)
+
+    def __sub__(self, other):
+        return self._forward(operator.sub, other)
+
+    def __rsub__(self, other):
+        return self._reflected(operator.sub, other)
+
+    def __mul__(self, other):
+        return self._forward(operator.mul, other)
+
+    def __rmul__(self, other):
+        return self._reflected(operator.mul, other)
+
+    def __truediv__(self, other):
+        return self._forward(operator.truediv, other)
+
+    def __rtruediv__(self, other):
+        return self._reflected(operator.truediv, other)
+
+    def __floordiv__(self, other):
+        return self._forward(operator.floordiv, other)
+
+    def __rfloordiv__(self, other):
+        return self._reflected(operator.floordiv, other)
+
+    def __mod__(self, other):
+        return self._forward(operator.mod, other)
+
+    def __rmod__(self, other):
+        return self._reflected(operator.mod, other)
+
+    def __divmod__(self, other):
+        return derive(divmod(_plain_int(self), other), self, other)
+
+    def __rdivmod__(self, other):
+        return derive(divmod(other, _plain_int(self)), self, other)
+
+    def __pow__(self, other, modulo=None):
+        if modulo is not None:
+            return derive(pow(_plain_int(self), other, modulo), self, other, modulo)
+        return self._forward(operator.pow, other)
+
+    def __rpow__(self, other):
+        return self._reflected(operator.pow, other)
+
+    def __and__(self, other):
+        return self._forward(operator.and_, other)
+
+    def __rand__(self, other):
+        return self._reflected(operator.and_, other)
+
+    def __or__(self, other):
+        return self._forward(operator.or_, other)
+
+    def __ror__(self, other):
+        return self._reflected(operator.or_, other)
+
+    def __xor__(self, other):
+        return self._forward(operator.xor, other)
+
+    def __rxor__(self, other):
+        return self._reflected(operator.xor, other)
+
+    def __lshift__(self, other):
+        return self._forward(operator.lshift, other)
+
+    def __rlshift__(self, other):
+        return self._reflected(operator.lshift, other)
+
+    def __rshift__(self, other):
+        return self._forward(operator.rshift, other)
+
+    def __rrshift__(self, other):
+        return self._reflected(operator.rshift, other)
+
+    # -- unary ---------------------------------------------------------------
+
+    def __neg__(self):
+        return derive(-_plain_int(self), self)
+
+    def __pos__(self):
+        return derive(+_plain_int(self), self)
+
+    def __abs__(self):
+        return derive(abs(_plain_int(self)), self)
+
+    def __invert__(self):
+        return derive(~_plain_int(self), self)
+
+    def __round__(self, ndigits=None):
+        return derive(round(_plain_int(self), ndigits), self)
+
+    # -- conversion ------------------------------------------------------------
+
+    def __str__(self) -> LabeledStr:
+        return derive(int.__str__(self), self)
+
+    def __repr__(self) -> str:
+        return derive(int.__repr__(self), self)
+
+    def __format__(self, spec) -> LabeledStr:
+        return derive(int.__format__(self, spec), self)
+
+    def __reduce__(self):
+        # Pickling drops to the plain value; labels are serialised
+        # explicitly by the storage layer, never implicitly by pickle.
+        return (int, (_plain_int(self),))
+
+
+class LabeledFloat(float):
+    """A ``float`` carrying security labels and a user-taint bit."""
+
+    __slots__ = (LABELS_ATTR, TAINT_ATTR)
+    __safeweb_labeled__ = True
+
+    def __new__(cls, value=0.0, labels: LabelSet | Iterable = (), user_taint: bool = False):
+        instance = super().__new__(cls, value)
+        if not isinstance(labels, LabelSet):
+            labels = LabelSet(labels)
+        setattr(instance, LABELS_ATTR, labels)
+        setattr(instance, TAINT_ATTR, bool(user_taint))
+        return instance
+
+    @property
+    def labels(self) -> LabelSet:
+        return getattr(self, LABELS_ATTR)
+
+    @property
+    def user_tainted(self) -> bool:
+        return getattr(self, TAINT_ATTR)
+
+    @property
+    def plain(self) -> float:
+        """An exact ``float`` copy without labels (post-check serialisation)."""
+        return _plain_float(self)
+
+    def relabel(self, labels: LabelSet) -> "LabeledFloat":
+        """A copy carrying exactly *labels* (caller performs privilege checks)."""
+        return LabeledFloat(_plain_float(self), labels=labels, user_taint=self.user_tainted)
+
+    def _forward(self, op, other):
+        return derive(op(_plain_float(self), other), self, other)
+
+    def _reflected(self, op, other):
+        return derive(op(other, _plain_float(self)), self, other)
+
+    def __add__(self, other):
+        return self._forward(operator.add, other)
+
+    def __radd__(self, other):
+        return self._reflected(operator.add, other)
+
+    def __sub__(self, other):
+        return self._forward(operator.sub, other)
+
+    def __rsub__(self, other):
+        return self._reflected(operator.sub, other)
+
+    def __mul__(self, other):
+        return self._forward(operator.mul, other)
+
+    def __rmul__(self, other):
+        return self._reflected(operator.mul, other)
+
+    def __truediv__(self, other):
+        return self._forward(operator.truediv, other)
+
+    def __rtruediv__(self, other):
+        return self._reflected(operator.truediv, other)
+
+    def __floordiv__(self, other):
+        return self._forward(operator.floordiv, other)
+
+    def __rfloordiv__(self, other):
+        return self._reflected(operator.floordiv, other)
+
+    def __mod__(self, other):
+        return self._forward(operator.mod, other)
+
+    def __rmod__(self, other):
+        return self._reflected(operator.mod, other)
+
+    def __divmod__(self, other):
+        return derive(divmod(_plain_float(self), other), self, other)
+
+    def __rdivmod__(self, other):
+        return derive(divmod(other, _plain_float(self)), self, other)
+
+    def __pow__(self, other):
+        return self._forward(operator.pow, other)
+
+    def __rpow__(self, other):
+        return self._reflected(operator.pow, other)
+
+    def __neg__(self):
+        return derive(-_plain_float(self), self)
+
+    def __pos__(self):
+        return derive(+_plain_float(self), self)
+
+    def __abs__(self):
+        return derive(abs(_plain_float(self)), self)
+
+    def __round__(self, ndigits=None):
+        return derive(round(_plain_float(self), ndigits), self)
+
+    def __trunc__(self):
+        return derive(math.trunc(_plain_float(self)), self)
+
+    def __floor__(self):
+        return derive(math.floor(_plain_float(self)), self)
+
+    def __ceil__(self):
+        return derive(math.ceil(_plain_float(self)), self)
+
+    def __str__(self) -> LabeledStr:
+        return derive(float.__str__(self), self)
+
+    def __repr__(self) -> str:
+        return derive(float.__repr__(self), self)
+
+    def __format__(self, spec) -> LabeledStr:
+        return derive(float.__format__(self, spec), self)
+
+    def __reduce__(self):
+        return (float, (_plain_float(self),))
+
+
+def labeled_sum(values: Iterable[Any], start: Any = 0) -> Any:
+    """``sum`` that preserves labels.
+
+    The builtin ``sum`` starts from a plain ``0`` and repeatedly applies
+    ``+``; reflected-operator dispatch keeps labels, so this is a thin,
+    intention-revealing wrapper used by the MDT metrics code.
+    """
+    total = start
+    for value in values:
+        total = total + value
+    return total

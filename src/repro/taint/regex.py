@@ -1,0 +1,205 @@
+"""Label-propagating regular expressions.
+
+The paper needed the Rubinius runtime specifically so the regular
+expression variables (``$~``, ``$1``, …) could be made taint-aware
+(§4.4). CPython's ``re`` match objects are opaque C structures, so we
+wrap them instead: every extraction method on :class:`LabeledMatch`
+returns values carrying the labels of the subject string (and of the
+pattern, when the pattern itself is labeled).
+
+The module mirrors the subset of :mod:`re` web applications use —
+``compile``, ``match``, ``search``, ``fullmatch``, ``findall``,
+``finditer``, ``split``, ``sub``, ``subn`` — with identical signatures.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from typing import Any, Callable, Iterator
+
+from repro.taint.string import derive
+
+
+class LabeledMatch:
+    """A match object whose extracted groups carry the subject's labels."""
+
+    __slots__ = ("_match", "_sources")
+
+    def __init__(self, match: _re.Match, sources: tuple):
+        self._match = match
+        self._sources = sources
+
+    def group(self, *indices):
+        return derive(self._match.group(*indices), *self._sources)
+
+    def groups(self, default=None):
+        return derive(self._match.groups(default), *self._sources)
+
+    def groupdict(self, default=None):
+        raw = self._match.groupdict(default)
+        return {key: derive(value, *self._sources) for key, value in raw.items()}
+
+    def start(self, group=0) -> int:
+        return self._match.start(group)
+
+    def end(self, group=0) -> int:
+        return self._match.end(group)
+
+    def span(self, group=0):
+        return self._match.span(group)
+
+    def expand(self, template):
+        return derive(self._match.expand(template), template, *self._sources)
+
+    def __getitem__(self, group):
+        return derive(self._match[group], *self._sources)
+
+    @property
+    def re(self):
+        return self._match.re
+
+    @property
+    def string(self):
+        return self._sources[0]
+
+    @property
+    def lastindex(self):
+        return self._match.lastindex
+
+    @property
+    def lastgroup(self):
+        return self._match.lastgroup
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"LabeledMatch({self._match!r})"
+
+
+class LabeledPattern:
+    """A compiled pattern returning labeled results."""
+
+    __slots__ = ("_pattern", "_pattern_source")
+
+    def __init__(self, pattern, flags: int = 0):
+        if isinstance(pattern, LabeledPattern):
+            self._pattern = pattern._pattern
+            self._pattern_source = pattern._pattern_source
+        else:
+            self._pattern = _re.compile(pattern, flags)
+            self._pattern_source = pattern
+
+    @property
+    def pattern(self):
+        return self._pattern.pattern
+
+    @property
+    def flags(self) -> int:
+        return self._pattern.flags
+
+    @property
+    def groupindex(self):
+        return self._pattern.groupindex
+
+    def _wrap_match(self, match, string) -> LabeledMatch | None:
+        if match is None:
+            return None
+        return LabeledMatch(match, (string, self._pattern_source))
+
+    def match(self, string, *args) -> LabeledMatch | None:
+        return self._wrap_match(self._pattern.match(string, *args), string)
+
+    def search(self, string, *args) -> LabeledMatch | None:
+        return self._wrap_match(self._pattern.search(string, *args), string)
+
+    def fullmatch(self, string, *args) -> LabeledMatch | None:
+        return self._wrap_match(self._pattern.fullmatch(string, *args), string)
+
+    def findall(self, string, *args) -> list:
+        return derive(self._pattern.findall(string, *args), string, self._pattern_source)
+
+    def finditer(self, string, *args) -> Iterator[LabeledMatch]:
+        for match in self._pattern.finditer(string, *args):
+            yield LabeledMatch(match, (string, self._pattern_source))
+
+    def split(self, string, maxsplit: int = 0) -> list:
+        return derive(self._pattern.split(string, maxsplit), string, self._pattern_source)
+
+    def sub(self, repl, string, count: int = 0):
+        result, _count = self.subn(repl, string, count)
+        return result
+
+    def subn(self, repl, string, count: int = 0):
+        sources: list[Any] = [string, self._pattern_source]
+        if callable(repl):
+            wrapped = _CallableRepl(repl, (string, self._pattern_source))
+            raw, n = self._pattern.subn(wrapped, string, count)
+            sources.extend(wrapped.produced)
+        else:
+            sources.append(repl)
+            raw, n = self._pattern.subn(repl, string, count)
+        return derive(raw, *sources), n
+
+
+class _CallableRepl:
+    """Adapter: hands the user callable a LabeledMatch, collects results."""
+
+    __slots__ = ("_func", "_sources", "produced")
+
+    def __init__(self, func: Callable, sources: tuple):
+        self._func = func
+        self._sources = sources
+        self.produced: list = []
+
+    def __call__(self, match: _re.Match) -> str:
+        result = self._func(LabeledMatch(match, self._sources))
+        self.produced.append(result)
+        return result
+
+
+# -- module-level API mirroring ``re`` --------------------------------------
+
+
+def compile(pattern, flags: int = 0) -> LabeledPattern:  # noqa: A001 - mirrors re
+    return LabeledPattern(pattern, flags)
+
+
+def match(pattern, string, flags: int = 0) -> LabeledMatch | None:
+    return LabeledPattern(pattern, flags).match(string)
+
+
+def search(pattern, string, flags: int = 0) -> LabeledMatch | None:
+    return LabeledPattern(pattern, flags).search(string)
+
+
+def fullmatch(pattern, string, flags: int = 0) -> LabeledMatch | None:
+    return LabeledPattern(pattern, flags).fullmatch(string)
+
+
+def findall(pattern, string, flags: int = 0) -> list:
+    return LabeledPattern(pattern, flags).findall(string)
+
+
+def finditer(pattern, string, flags: int = 0) -> Iterator[LabeledMatch]:
+    return LabeledPattern(pattern, flags).finditer(string)
+
+
+def split(pattern, string, maxsplit: int = 0, flags: int = 0) -> list:
+    return LabeledPattern(pattern, flags).split(string, maxsplit)
+
+
+def sub(pattern, repl, string, count: int = 0, flags: int = 0):
+    return LabeledPattern(pattern, flags).sub(repl, string, count)
+
+
+def subn(pattern, repl, string, count: int = 0, flags: int = 0):
+    return LabeledPattern(pattern, flags).subn(repl, string, count)
+
+
+#: Re-exported flag constants so callers need not import ``re`` separately.
+IGNORECASE = _re.IGNORECASE
+MULTILINE = _re.MULTILINE
+DOTALL = _re.DOTALL
+VERBOSE = _re.VERBOSE
+ASCII = _re.ASCII

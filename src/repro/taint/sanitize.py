@@ -1,0 +1,84 @@
+"""User-input taint and sanitisation (paper §4.4, last paragraph).
+
+Ruby objects support a ``taint`` flag marking values that originate from
+the user; SafeWeb relies on it for traditional XSS/SQL-injection defence
+alongside its label tracking. This module reproduces that mechanism:
+
+* :func:`mark_user_input` taints a value (the web framework calls this on
+  every request parameter, header and body field);
+* taint propagates through all labeled operations exactly like a sticky
+  confidentiality label;
+* sensitive sinks call :func:`require_sanitized` and refuse tainted
+  values;
+* :func:`html_escape` / :func:`sql_quote` transform a value safely and
+  clear the taint, and :func:`endorse_user_input` clears it without
+  transformation for code that validated the value by other means.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import SafeWebError
+from repro.taint.labeled import is_user_tainted, labels_of, with_labels
+from repro.taint.string import LabeledStr, ensure_labeled_str
+
+_HTML_REPLACEMENTS = (
+    ("&", "&amp;"),
+    ("<", "&lt;"),
+    (">", "&gt;"),
+    ('"', "&quot;"),
+    ("'", "&#39;"),
+)
+
+
+class SanitisationError(SafeWebError):
+    """Unsanitised user input reached a sensitive sink."""
+
+
+def mark_user_input(value: Any) -> Any:
+    """Mark *value* (and contained values) as unsanitised user input."""
+    return with_labels(value, labels_of(value), user_taint=True)
+
+
+def endorse_user_input(value: Any) -> Any:
+    """Clear the user taint without transforming the value.
+
+    The escape hatch for application code that validated input through
+    some other route (e.g. a strict allow-list); the call site itself
+    becomes part of the auditable trusted codebase.
+    """
+    return with_labels(value, labels_of(value), user_taint=False)
+
+
+def require_sanitized(value: Any, context: str = "sensitive operation") -> Any:
+    """Pass *value* through, raising if it still carries user taint."""
+    if is_user_tainted(value):
+        raise SanitisationError(f"unsanitised user input reached {context}")
+    return value
+
+
+def html_escape(value: Any) -> LabeledStr:
+    """Escape HTML metacharacters and clear the user taint.
+
+    Security labels are preserved — escaping makes the value safe against
+    *injection*, not against *disclosure*; the response-time label check
+    still applies.
+    """
+    text = ensure_labeled_str(value)
+    escaped = str.__getitem__(text, slice(None))  # plain copy to transform
+    for raw, entity in _HTML_REPLACEMENTS:
+        escaped = escaped.replace(raw, entity)
+    return LabeledStr(escaped, labels=text.labels, user_taint=False)
+
+
+def sql_quote(value: Any) -> LabeledStr:
+    """Quote a value for inclusion in an SQL literal and clear the taint.
+
+    Parameterised queries remain the first choice (and are what
+    ``repro.storage.webdb`` uses); this exists for the paper's
+    string-assembly code paths.
+    """
+    text = ensure_labeled_str(value)
+    escaped = str.__getitem__(text, slice(None)).replace("'", "''")
+    return LabeledStr("'" + escaped + "'", labels=text.labels, user_taint=False)

@@ -1,0 +1,314 @@
+"""Label-propagating string types.
+
+:class:`LabeledStr` is the Python analogue of SafeWeb's re-opened Ruby
+``String``: every operation that derives a new string from a labeled one
+returns a labeled result carrying the IFC combination of all operand
+labels (paper §4.4 — "when two strings are concatenated, the resulting
+string receives both operands' labels").
+
+A CPython detail does most of the enforcement work for mixed expressions:
+when the right operand of a binary operator is an instance of a *subclass*
+of the left operand's type and overrides the reflected method, Python
+calls the reflected method **first**. So ``plain + labeled`` dispatches to
+``LabeledStr.__radd__`` and the label survives even though the plain
+string is on the left.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.core.labels import LabelSet
+from repro.taint.labeled import LABELS_ATTR, TAINT_ATTR, combine_sources, labels_of
+
+
+def _wrap(result: Any, labels: LabelSet, taint: bool) -> Any:
+    """Wrap an operation result in its labeled counterpart."""
+    from repro.taint.number import LabeledFloat, LabeledInt
+
+    if result is None or isinstance(result, bool):
+        return result
+    if isinstance(result, str):
+        return LabeledStr(result, labels=labels, user_taint=taint)
+    if isinstance(result, bytes):
+        return LabeledBytes(result, labels=labels, user_taint=taint)
+    if isinstance(result, int):
+        return LabeledInt(result, labels=labels, user_taint=taint)
+    if isinstance(result, float):
+        return LabeledFloat(result, labels=labels, user_taint=taint)
+    if isinstance(result, tuple):
+        return tuple(_wrap(item, labels, taint) for item in result)
+    if isinstance(result, list):
+        return [_wrap(item, labels, taint) for item in result]
+    return result
+
+
+def derive(result: Any, *sources: Any) -> Any:
+    """Wrap *result* with the combined labels/taint of *sources*.
+
+    The combination follows §4.1: confidentiality unions, integrity
+    intersects, user-taint is sticky. This is the single choke point all
+    labeled operators funnel through. When the combination is empty and
+    untainted, the plain result is returned as-is — an empty label set
+    carries no policy, so skipping the wrapper changes nothing
+    observable and keeps unlabeled fast paths cheap.
+    """
+    labels, taint = combine_sources(*sources)
+    if not labels and not taint:
+        return result
+    return _wrap(result, labels, taint)
+
+
+def _mod_sources(args: Any) -> tuple:
+    """The label sources hidden inside a ``%`` right-hand side."""
+    if isinstance(args, tuple):
+        return args
+    if isinstance(args, dict):
+        return tuple(args.values())
+    return (args,)
+
+
+class LabeledStr(str):
+    """A ``str`` carrying security labels and a user-taint bit."""
+
+    __slots__ = (LABELS_ATTR, TAINT_ATTR)
+    __safeweb_labeled__ = True
+
+    def __new__(cls, value: str = "", labels: LabelSet | Iterable = (), user_taint: bool = False):
+        instance = super().__new__(cls, value)
+        if not isinstance(labels, LabelSet):
+            labels = LabelSet(labels)
+        setattr(instance, LABELS_ATTR, labels)
+        setattr(instance, TAINT_ATTR, bool(user_taint))
+        return instance
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def labels(self) -> LabelSet:
+        return getattr(self, LABELS_ATTR)
+
+    @property
+    def user_tainted(self) -> bool:
+        return getattr(self, TAINT_ATTR)
+
+    @property
+    def plain(self) -> str:
+        """An exact ``str`` copy without labels (post-check serialisation)."""
+        return str.__getitem__(self, slice(None))
+
+    def relabel(self, labels: LabelSet, user_taint: bool | None = None) -> "LabeledStr":
+        """A copy carrying exactly *labels* (caller performs privilege checks)."""
+        taint = self.user_tainted if user_taint is None else user_taint
+        return LabeledStr(self.plain, labels=labels, user_taint=taint)
+
+    # -- binary operators --------------------------------------------------
+
+    def __add__(self, other):
+        return derive(str.__add__(self, other), self, other)
+
+    def __radd__(self, other):
+        return derive(str.__add__(other, self), self, other)
+
+    def __mul__(self, count):
+        return derive(str.__mul__(self, count), self, count)
+
+    __rmul__ = __mul__
+
+    def __mod__(self, args):
+        return derive(str.__mod__(self, args), self, *_mod_sources(args))
+
+    def __rmod__(self, template):
+        return derive(str.__mod__(template, self), template, self)
+
+    def __getitem__(self, key):
+        return derive(str.__getitem__(self, key), self)
+
+    def __iter__(self) -> Iterator["LabeledStr"]:
+        labels, taint = self.labels, self.user_tainted
+        for char in str.__iter__(self):
+            yield LabeledStr(char, labels=labels, user_taint=taint)
+
+    # -- conversion and formatting ------------------------------------------
+
+    def __str__(self) -> "LabeledStr":
+        return self
+
+    def __repr__(self) -> str:
+        return derive(str.__repr__(self), self)
+
+    def __format__(self, spec) -> "LabeledStr":
+        return derive(str.__format__(self, spec), self, spec)
+
+    def format(self, *args, **kwargs):
+        result = str.format(self, *args, **kwargs)
+        return derive(result, self, *args, *kwargs.values())
+
+    def format_map(self, mapping):
+        result = str.format_map(self, mapping)
+        return derive(result, self, *mapping.values())
+
+    def encode(self, encoding="utf-8", errors="strict"):
+        return derive(str.encode(self, encoding, errors), self)
+
+    # -- derived-string methods (labels from self, plus any str arguments) --
+
+    def join(self, iterable):
+        parts = list(iterable)
+        return derive(str.join(self, parts), self, *parts)
+
+    def replace(self, old, new, count=-1):
+        return derive(str.replace(self, old, new, count), self, old, new)
+
+    def translate(self, table):
+        return derive(str.translate(self, table), self)
+
+    def strip(self, chars=None):
+        return derive(str.strip(self, chars), self, chars)
+
+    def lstrip(self, chars=None):
+        return derive(str.lstrip(self, chars), self, chars)
+
+    def rstrip(self, chars=None):
+        return derive(str.rstrip(self, chars), self, chars)
+
+    def removeprefix(self, prefix):
+        return derive(str.removeprefix(self, prefix), self, prefix)
+
+    def removesuffix(self, suffix):
+        return derive(str.removesuffix(self, suffix), self, suffix)
+
+    def center(self, width, fillchar=" "):
+        return derive(str.center(self, width, fillchar), self, fillchar)
+
+    def ljust(self, width, fillchar=" "):
+        return derive(str.ljust(self, width, fillchar), self, fillchar)
+
+    def rjust(self, width, fillchar=" "):
+        return derive(str.rjust(self, width, fillchar), self, fillchar)
+
+    def zfill(self, width):
+        return derive(str.zfill(self, width), self)
+
+    def expandtabs(self, tabsize=8):
+        return derive(str.expandtabs(self, tabsize), self)
+
+    def upper(self):
+        return derive(str.upper(self), self)
+
+    def lower(self):
+        return derive(str.lower(self), self)
+
+    def casefold(self):
+        return derive(str.casefold(self), self)
+
+    def capitalize(self):
+        return derive(str.capitalize(self), self)
+
+    def title(self):
+        return derive(str.title(self), self)
+
+    def swapcase(self):
+        return derive(str.swapcase(self), self)
+
+    # -- splitting (every part carries the source labels) --------------------
+
+    def split(self, sep=None, maxsplit=-1):
+        return derive(str.split(self, sep, maxsplit), self, sep)
+
+    def rsplit(self, sep=None, maxsplit=-1):
+        return derive(str.rsplit(self, sep, maxsplit), self, sep)
+
+    def splitlines(self, keepends=False):
+        return derive(str.splitlines(self, keepends), self)
+
+    def partition(self, sep):
+        return derive(str.partition(self, sep), self, sep)
+
+    def rpartition(self, sep):
+        return derive(str.rpartition(self, sep), self, sep)
+
+    # -- reduction ------------------------------------------------------------
+
+    def __reduce__(self):
+        # Pickling drops to the plain value; labels are serialised
+        # explicitly by the storage layer, never implicitly by pickle.
+        return (str, (self.plain,))
+
+
+class LabeledBytes(bytes):
+    """A ``bytes`` carrying security labels (e.g. encoded response bodies).
+
+    ``bytes`` is a variable-size type, so CPython forbids nonempty
+    ``__slots__`` here; instances carry a ``__dict__`` instead.
+    """
+
+    __safeweb_labeled__ = True
+
+    def __new__(cls, value: bytes = b"", labels: LabelSet | Iterable = (), user_taint: bool = False):
+        instance = super().__new__(cls, value)
+        if not isinstance(labels, LabelSet):
+            labels = LabelSet(labels)
+        setattr(instance, LABELS_ATTR, labels)
+        setattr(instance, TAINT_ATTR, bool(user_taint))
+        return instance
+
+    @property
+    def labels(self) -> LabelSet:
+        return getattr(self, LABELS_ATTR)
+
+    @property
+    def user_tainted(self) -> bool:
+        return getattr(self, TAINT_ATTR)
+
+    @property
+    def plain(self) -> bytes:
+        return bytes.__getitem__(self, slice(None))
+
+    def __add__(self, other):
+        return derive(bytes.__add__(self, other), self, other)
+
+    def __radd__(self, other):
+        return derive(bytes.__add__(other, self), self, other)
+
+    def __mul__(self, count):
+        return derive(bytes.__mul__(self, count), self, count)
+
+    __rmul__ = __mul__
+
+    def __getitem__(self, key):
+        result = bytes.__getitem__(self, key)
+        # Indexing a bytes yields int; slicing yields bytes. Both carry labels.
+        return derive(result, self)
+
+    def decode(self, encoding="utf-8", errors="strict"):
+        return derive(bytes.decode(self, encoding, errors), self)
+
+    def hex(self, *args, **kwargs):
+        return derive(bytes.hex(self, *args, **kwargs), self)
+
+    def join(self, iterable):
+        parts = list(iterable)
+        return derive(bytes.join(self, parts), self, *parts)
+
+    def replace(self, old, new, count=-1):
+        return derive(bytes.replace(self, old, new, count), self, old, new)
+
+    def strip(self, chars=None):
+        return derive(bytes.strip(self, chars), self, chars)
+
+    def split(self, sep=None, maxsplit=-1):
+        return derive(bytes.split(self, sep, maxsplit), self, sep)
+
+    def __reduce__(self):
+        return (bytes, (self.plain,))
+
+
+def ensure_labeled_str(value: Any) -> LabeledStr:
+    """Coerce any value to a :class:`LabeledStr`, keeping existing labels."""
+    if isinstance(value, LabeledStr):
+        return value
+    if isinstance(value, str):
+        return LabeledStr(value)
+    text = str(value)
+    return LabeledStr(text, labels=labels_of(value))

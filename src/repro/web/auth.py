@@ -1,0 +1,97 @@
+"""HTTP Basic authentication against the web database (paper §5.1).
+
+"Currently, the web frontend uses HTTP basic authentication and TLS" —
+credentials arrive base64-encoded in the ``Authorization`` header, are
+verified against the web database, and resolve to a
+:class:`~repro.core.principals.UserPrincipal` carrying the user's label
+privileges (fetched in the same step — Figure 3, step 1).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import Optional, Tuple
+
+from repro.core.principals import UserPrincipal
+from repro.exceptions import AuthenticationError
+from repro.storage.webdb import WebDatabase
+
+
+def parse_basic_header(header: Optional[str]) -> Tuple[str, str]:
+    """Extract (username, password) from an ``Authorization`` header."""
+    if not header:
+        raise AuthenticationError("missing Authorization header")
+    scheme, _space, payload = header.partition(" ")
+    if scheme.lower() != "basic" or not payload:
+        raise AuthenticationError(f"unsupported authentication scheme {scheme!r}")
+    try:
+        decoded = base64.b64decode(payload.strip(), validate=True).decode("utf-8")
+    except (binascii.Error, UnicodeDecodeError) as error:
+        raise AuthenticationError("malformed Basic credentials") from error
+    username, colon, password = decoded.partition(":")
+    if not colon:
+        raise AuthenticationError("malformed Basic credentials (no colon)")
+    return username, password
+
+
+def encode_basic(username: str, password: str) -> str:
+    """Build an ``Authorization`` header value (client side / tests)."""
+    token = base64.b64encode(f"{username}:{password}".encode()).decode("ascii")
+    return f"Basic {token}"
+
+
+class BasicAuthenticator:
+    """Resolves requests to principals via the web database."""
+
+    def __init__(self, webdb: WebDatabase):
+        self._webdb = webdb
+
+    def authenticate(self, authorization_header: Optional[str]) -> UserPrincipal:
+        """Verify credentials and return the principal with privileges.
+
+        The username lookup is exact (case-sensitive); §5.2's "errors in
+        access checks" experiment subclasses this with a case-insensitive
+        lookup to inject the CVE-style bug.
+        """
+        row = self.verify(authorization_header)
+        return self.fetch_privileges(row)
+
+    def verify(self, authorization_header: Optional[str]) -> dict:
+        """Step 1 of Figure 3: credential verification only.
+
+        Split from privilege fetching so the Figure 5 breakdown can time
+        the two components separately (87 ms vs 3 ms in the paper).
+        """
+        username, password = parse_basic_header(authorization_header)
+        user_id = self.lookup_user_id(username)
+        if user_id is None:
+            raise AuthenticationError(f"unknown user {username!r}")
+        row = self._webdb.user_row(user_id)
+        if not self._webdb.check_password(row["name"], password):
+            raise AuthenticationError("bad credentials")
+        return row
+
+    def fetch_privileges(self, row: dict) -> UserPrincipal:
+        """Step 1 of Figure 3, second half: attach the user's privileges."""
+        principal = self._webdb.principal_for(row["name"])
+        if principal is None:  # pragma: no cover - row existed a moment ago
+            raise AuthenticationError(f"unknown user {row['name']!r}")
+        return principal
+
+    def lookup_user_id(self, username: str) -> Optional[int]:
+        return self._webdb.user_id(username)
+
+
+class CaseInsensitiveAuthenticator(BasicAuthenticator):
+    """The §5.2 'errors in access checks' injection: ``LOWER()`` lookup.
+
+    With users ``mdt1`` and ``MDT1`` holding different privileges, this
+    authenticator can resolve a login to the *other* user's account —
+    the privilege-confusion bug SafeWeb must contain. Password checking
+    still runs against the resolved row, so the test registers both
+    accounts with the same password, as an operator plausibly might.
+    """
+
+    def lookup_user_id(self, username: str) -> Optional[int]:
+        return self._webdb.user_id_case_insensitive(username)

@@ -1,0 +1,168 @@
+"""HTTP plumbing: a threaded server and an in-process test client.
+
+The server adapts :class:`http.server.ThreadingHTTPServer` to the
+framework's ``Request -> Response`` callable; TLS is a matter of wrapping
+the listening socket with an ``ssl.SSLContext`` (the paper's frontend
+runs HTTP Basic over TLS).
+
+:class:`TestClient` drives an app without sockets. Tests and the page-
+generation benchmark use it so measurements capture *page generation*
+(what the paper reports) rather than socket noise.
+"""
+
+from __future__ import annotations
+
+import ssl
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.web.auth import encode_basic
+from repro.web.request import Request
+from repro.web.response import Response
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "HttpServer"
+
+    def _run(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length).decode("utf-8") if length else ""
+        request = Request(
+            method=self.command,
+            path=self.path,
+            headers=dict(self.headers.items()),
+            body=body,
+            remote_addr=self.client_address[0],
+        )
+        response = self.server.app(request)
+        status, headers, payload = response.finalize()
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._run()
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._run()
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._run()
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._run()
+
+    def log_message(self, *args) -> None:  # silence default stderr logging
+        pass
+
+
+class HttpServer(ThreadingHTTPServer):
+    """Serve a SafeWeb app over real sockets."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tls_context: Optional[ssl.SSLContext] = None,
+    ):
+        self.app = app
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _Handler)
+        if tls_context is not None:
+            self.socket = tls_context.wrap_socket(self.socket, server_side=True)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HttpServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="safeweb-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(5)
+            self._thread = None
+
+
+@dataclass
+class ClientResult:
+    """What :class:`TestClient` returns: wire view + pre-wire response."""
+
+    status: int
+    headers: Dict[str, str]
+    text: str
+    response: Response = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self):
+        import json
+
+        return json.loads(self.text)
+
+
+class TestClient:
+    """Call an app in-process, Rack::Test style."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, app):
+        self.app = app
+        #: The most recent Request object (benchmarks read its timings).
+        self.last_request: Optional[Request] = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: str = "",
+        auth: Optional[Tuple[str, str]] = None,
+    ) -> ClientResult:
+        headers = dict(headers or {})
+        if auth is not None:
+            headers["Authorization"] = encode_basic(*auth)
+        request = Request(method=method, path=path, headers=headers, body=body)
+        self.last_request = request
+        response = self.app(request)
+        status, finalized_headers, payload = response.finalize()
+        return ClientResult(
+            status=status,
+            headers=finalized_headers,
+            text=payload.decode("utf-8"),
+            response=response,
+        )
+
+    def get(self, path: str, **kwargs) -> ClientResult:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, **kwargs) -> ClientResult:
+        return self.request("POST", path, **kwargs)
+
+    def put(self, path: str, **kwargs) -> ClientResult:
+        return self.request("PUT", path, **kwargs)
+
+    def delete(self, path: str, **kwargs) -> ClientResult:
+        return self.request("DELETE", path, **kwargs)

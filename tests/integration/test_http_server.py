@@ -1,0 +1,109 @@
+"""Integration: the portal over real HTTP sockets."""
+
+import base64
+import http.client
+import json
+
+import pytest
+
+from repro.mdt import MdtDeployment, WorkloadConfig
+from repro.web.http import HttpServer
+
+
+@pytest.fixture(scope="module")
+def served_deployment():
+    deployment = MdtDeployment(
+        WorkloadConfig(num_regions=2, mdts_per_region=2, patients_per_mdt=4, seed=31)
+    )
+    deployment.run_pipeline()
+    server = HttpServer(deployment.portal).start()
+    yield deployment, server
+    server.stop()
+
+
+def http_get(server, path, user=None, password=None):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    headers = {}
+    if user is not None:
+        token = base64.b64encode(f"{user}:{password}".encode()).decode()
+        headers["Authorization"] = f"Basic {token}"
+    connection.request("GET", path, headers=headers)
+    response = connection.getresponse()
+    body = response.read().decode()
+    connection.close()
+    return response.status, dict(response.getheaders()), body
+
+
+class TestPortalOverSockets:
+    def test_health(self, served_deployment):
+        _deployment, server = served_deployment
+        status, _headers, body = http_get(server, "/health")
+        assert status == 200
+        assert body == "ok"
+
+    def test_unauthenticated_401_with_challenge(self, served_deployment):
+        _deployment, server = served_deployment
+        status, headers, _body = http_get(server, "/records/1")
+        assert status == 401
+        assert "WWW-Authenticate" in headers
+
+    def test_records_json(self, served_deployment):
+        deployment, server = served_deployment
+        status, headers, body = http_get(
+            server, "/records/1", "mdt1", deployment.password_of("mdt1")
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        records = json.loads(body)
+        assert records and all(record["mid"] == "1" for record in records)
+
+    def test_label_check_fires_over_sockets(self, served_deployment):
+        deployment, server = served_deployment
+        # Cross-region metrics request: app check blocks (403).
+        status, _headers, body = http_get(
+            server, "/metrics/3", "mdt1", deployment.password_of("mdt1")
+        )
+        assert status == 403
+
+    def test_front_page_html(self, served_deployment):
+        deployment, server = served_deployment
+        status, headers, body = http_get(
+            server, "/", "mdt2", deployment.password_of("mdt2")
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        assert "MDT 2" in body
+
+    def test_content_length_accurate(self, served_deployment):
+        deployment, server = served_deployment
+        status, headers, body = http_get(
+            server, "/", "mdt1", deployment.password_of("mdt1")
+        )
+        assert status == 200
+        assert int(headers["Content-Length"]) == len(body.encode())
+
+    def test_parallel_clients(self, served_deployment):
+        import threading
+
+        deployment, server = served_deployment
+        outcomes = []
+        lock = threading.Lock()
+
+        def fetch(user):
+            status, _headers, _body = http_get(
+                server, f"/records/{user[3:]}", user, deployment.password_of(user)
+            )
+            with lock:
+                outcomes.append(status)
+
+        threads = [
+            threading.Thread(target=fetch, args=(f"mdt{n}",))
+            for _round in range(2)
+            for n in (1, 2, 3, 4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count(200) == len(outcomes)

@@ -1,0 +1,191 @@
+"""Integration tests: STOMP clients against the server over real sockets."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.core.policy import parse_policy
+from repro.events import Broker
+from repro.events.stomp import StompClient, StompServer
+from repro.exceptions import SafeWebError
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+POLICY = parse_policy(
+    """
+    authority ecric.org.uk
+
+    unit data_producer {
+        privileged
+    }
+
+    unit data_aggregator {
+        clearance label:conf:ecric.org.uk/patient
+        clearance label:conf:ecric.org.uk/mdt
+    }
+
+    user mdt1 {
+        password secret1
+        clearance label:conf:ecric.org.uk/mdt/1
+    }
+    """
+)
+
+
+@pytest.fixture()
+def server():
+    broker = Broker(threaded=True)
+    stomp = StompServer(broker, policy=POLICY).start()
+    yield stomp
+    stomp.stop()
+    broker.stop()
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def connect(server, login="data_aggregator", passcode=""):
+    host, port = server.address
+    return StompClient(host, port, login=login, passcode=passcode).connect()
+
+
+class TestConnection:
+    def test_connect_known_unit(self, server):
+        client = connect(server)
+        assert client.connected
+        client.disconnect()
+
+    def test_connect_user_with_password(self, server):
+        client = connect(server, login="mdt1", passcode="secret1")
+        assert client.connected
+        client.disconnect()
+
+    def test_connect_user_bad_password(self, server):
+        with pytest.raises(SafeWebError):
+            connect(server, login="mdt1", passcode="wrong")
+
+    def test_connect_unknown_principal(self, server):
+        with pytest.raises(SafeWebError):
+            connect(server, login="mallory")
+
+
+class TestPubSub:
+    def test_publish_subscribe_round_trip(self, server):
+        publisher = connect(server, login="data_producer")
+        subscriber = connect(server)
+        received = []
+        subscriber.subscribe("/patient_report", received.append)
+        publisher.send(
+            "/patient_report",
+            {"type": "cancer", "patient_id": "p1"},
+            payload="details",
+            labels=[PATIENT],
+            receipt=True,
+        )
+        assert wait_for(lambda: len(received) == 1)
+        event = received[0]
+        assert event.topic == "/patient_report"
+        assert event["type"] == "cancer"
+        assert event.payload == "details"
+        assert event.labels == LabelSet([PATIENT])
+        publisher.disconnect()
+        subscriber.disconnect()
+
+    def test_selector_filtering_over_the_wire(self, server):
+        publisher = connect(server, login="data_producer")
+        subscriber = connect(server)
+        received = []
+        subscriber.subscribe("/reports", received.append, selector="type = 'cancer'")
+        publisher.send("/reports", {"type": "benign"}, receipt=True)
+        publisher.send("/reports", {"type": "cancer"}, receipt=True)
+        assert wait_for(lambda: len(received) == 1)
+        time.sleep(0.05)
+        assert len(received) == 1
+        assert received[0]["type"] == "cancer"
+        publisher.disconnect()
+        subscriber.disconnect()
+
+    def test_label_filtering_over_the_wire(self, server):
+        """§4.2: server-side clearance comes from the policy, not the client."""
+        publisher = connect(server, login="data_producer")
+        mdt_user = connect(server, login="mdt1", passcode="secret1")
+        cleared = connect(server, login="data_aggregator")
+        mdt_received, cleared_received = [], []
+        mdt_user.subscribe("/reports", mdt_received.append)
+        cleared.subscribe("/reports", cleared_received.append)
+
+        publisher.send("/reports", {"n": "1"}, labels=[PATIENT], receipt=True)
+        publisher.send("/reports", {"n": "2"}, labels=[MDT], receipt=True)
+        publisher.send("/reports", {"n": "3"}, receipt=True)
+
+        assert wait_for(lambda: len(cleared_received) == 3)
+        assert wait_for(lambda: len(mdt_received) == 2)
+        time.sleep(0.05)
+        # mdt1 is cleared for its own MDT label and unlabelled data only.
+        assert sorted(e["n"] for e in mdt_received) == ["2", "3"]
+        for client in (publisher, mdt_user, cleared):
+            client.disconnect()
+
+    def test_unsubscribe_stops_delivery(self, server):
+        publisher = connect(server, login="data_producer")
+        subscriber = connect(server)
+        received = []
+        sub_id = subscriber.subscribe("/t", received.append)
+        publisher.send("/t", {"n": "1"}, receipt=True)
+        assert wait_for(lambda: len(received) == 1)
+        subscriber.unsubscribe(sub_id)
+        publisher.send("/t", {"n": "2"}, receipt=True)
+        time.sleep(0.1)
+        assert len(received) == 1
+        publisher.disconnect()
+        subscriber.disconnect()
+
+    def test_bad_selector_reports_error(self, server):
+        subscriber = connect(server)
+        with pytest.raises(SafeWebError):
+            subscriber.subscribe("/t", lambda e: None, selector="type = = 'x'")
+        subscriber.disconnect()
+
+    def test_reserved_attribute_rejected_client_side(self, server):
+        publisher = connect(server, login="data_producer")
+        from repro.exceptions import StompProtocolError
+
+        with pytest.raises(StompProtocolError):
+            publisher.send("/t", {"destination": "/evil"})
+        publisher.disconnect()
+
+    def test_concurrent_publishers(self, server):
+        subscriber = connect(server)
+        received = []
+        subscriber.subscribe("/t", received.append)
+        publishers = [connect(server, login="data_producer") for _ in range(4)]
+
+        def blast(client):
+            for index in range(25):
+                client.send("/t", {"n": str(index)})
+
+        threads = [threading.Thread(target=blast, args=(p,)) for p in publishers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert wait_for(lambda: len(received) == 100)
+        for publisher in publishers:
+            publisher.disconnect()
+        subscriber.disconnect()
+
+    def test_disconnect_cleans_up_subscriptions(self, server):
+        subscriber = connect(server)
+        subscriber.subscribe("/t", lambda e: None)
+        assert wait_for(lambda: len(server.broker) == 1)
+        subscriber.disconnect()
+        assert wait_for(lambda: len(server.broker) == 0)

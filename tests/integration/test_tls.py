@@ -1,0 +1,153 @@
+"""Integration: TLS at the transport layer (paper §4.2 and §5.1).
+
+The paper's broker is "extended with SSL support at the transport layer"
+and the frontend serves HTTP Basic over TLS. These tests wrap the STOMP
+server and the HTTP server in TLS with a self-signed certificate
+generated on the fly (requires the ``cryptography`` package; skipped
+when unavailable).
+"""
+
+import datetime
+import ssl
+import time
+
+import pytest
+
+cryptography = pytest.importorskip("cryptography")
+
+from cryptography import x509  # noqa: E402
+from cryptography.hazmat.primitives import hashes, serialization  # noqa: E402
+from cryptography.hazmat.primitives.asymmetric import rsa  # noqa: E402
+from cryptography.x509.oid import NameOID  # noqa: E402
+
+from repro.core.labels import LabelSet, conf_label  # noqa: E402
+from repro.core.policy import parse_policy  # noqa: E402
+from repro.events import Broker  # noqa: E402
+from repro.events.stomp import StompClient, StompServer  # noqa: E402
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+
+POLICY = parse_policy(
+    """
+    authority ecric.org.uk
+
+    unit secure_client {
+        clearance label:conf:ecric.org.uk/patient
+    }
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def tls_contexts(tmp_path_factory):
+    """Self-signed server certificate + matching client context."""
+    key = rsa.generate_private_key(public_exponent=65537, key_size=2048)
+    name = x509.Name([x509.NameAttribute(NameOID.COMMON_NAME, "127.0.0.1")])
+    now = datetime.datetime.now(datetime.timezone.utc)
+    certificate = (
+        x509.CertificateBuilder()
+        .subject_name(name)
+        .issuer_name(name)
+        .public_key(key.public_key())
+        .serial_number(x509.random_serial_number())
+        .not_valid_before(now - datetime.timedelta(minutes=5))
+        .not_valid_after(now + datetime.timedelta(days=1))
+        .add_extension(
+            x509.SubjectAlternativeName([x509.IPAddress(__import__("ipaddress").ip_address("127.0.0.1"))]),
+            critical=False,
+        )
+        .sign(key, hashes.SHA256())
+    )
+    directory = tmp_path_factory.mktemp("tls")
+    cert_path = directory / "cert.pem"
+    key_path = directory / "key.pem"
+    cert_path.write_bytes(certificate.public_bytes(serialization.Encoding.PEM))
+    key_path.write_bytes(
+        key.private_bytes(
+            serialization.Encoding.PEM,
+            serialization.PrivateFormat.TraditionalOpenSSL,
+            serialization.NoEncryption(),
+        )
+    )
+
+    server_context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    server_context.load_cert_chain(cert_path, key_path)
+    client_context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    client_context.load_verify_locations(cert_path)
+    client_context.check_hostname = False
+    return server_context, client_context
+
+
+class TestStompOverTls:
+    def test_labelled_round_trip(self, tls_contexts):
+        server_context, client_context = tls_contexts
+        broker = Broker(threaded=True)
+        server = StompServer(broker, policy=POLICY, tls_context=server_context).start()
+        try:
+            host, port = server.address
+            subscriber = StompClient(
+                host, port, login="secure_client", tls_context=client_context
+            ).connect()
+            publisher = StompClient(
+                host, port, login="secure_client", tls_context=client_context
+            ).connect()
+            received = []
+            subscriber.subscribe("/secure", received.append)
+            publisher.send(
+                "/secure", {"k": "v"}, payload="over tls", labels=[PATIENT], receipt=True
+            )
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and not received:
+                time.sleep(0.01)
+            assert received
+            assert received[0].payload == "over tls"
+            assert received[0].labels == LabelSet([PATIENT])
+            subscriber.disconnect()
+            publisher.disconnect()
+        finally:
+            server.stop()
+            broker.stop()
+
+    def test_plaintext_client_rejected_by_tls_server(self, tls_contexts):
+        server_context, _client_context = tls_contexts
+        broker = Broker(threaded=True)
+        server = StompServer(broker, tls_context=server_context).start()
+        try:
+            host, port = server.address
+            from repro.exceptions import SafeWebError
+
+            with pytest.raises((SafeWebError, OSError)):
+                StompClient(host, port, timeout=1.0).connect()
+        finally:
+            server.stop()
+            broker.stop()
+
+
+class TestHttpsPortal:
+    def test_portal_over_https(self, tls_contexts):
+        server_context, client_context = tls_contexts
+        from repro.mdt import MdtDeployment, WorkloadConfig
+        from repro.web.http import HttpServer
+
+        deployment = MdtDeployment(
+            WorkloadConfig(num_regions=1, mdts_per_region=1, patients_per_mdt=3, seed=41)
+        )
+        deployment.run_pipeline()
+        server = HttpServer(deployment.portal, tls_context=server_context).start()
+        try:
+            import base64
+            import http.client
+
+            host, port = server.address
+            connection = http.client.HTTPSConnection(host, port, context=client_context)
+            token = base64.b64encode(
+                f"mdt1:{deployment.password_of('mdt1')}".encode()
+            ).decode()
+            connection.request("GET", "/records/1", headers={"Authorization": f"Basic {token}"})
+            response = connection.getresponse()
+            assert response.status == 200
+            body = response.read().decode()
+            assert "patient_name" in body
+            connection.close()
+        finally:
+            server.stop()

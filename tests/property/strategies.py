@@ -1,0 +1,37 @@
+"""Shared hypothesis strategies for the SafeWeb property tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.labels import CONFIDENTIALITY, INTEGRITY, Label, LabelSet
+
+_AUTHORITIES = ("ecric.org.uk", "otago.ac.nz", "ic.ac.uk")
+_SEGMENTS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789._-", min_size=1, max_size=8
+).filter(lambda segment: segment not in (".", ".."))
+
+
+@st.composite
+def labels(draw, kind=None) -> Label:
+    label_kind = kind or draw(st.sampled_from((CONFIDENTIALITY, INTEGRITY)))
+    authority = draw(st.sampled_from(_AUTHORITIES))
+    path = tuple(draw(st.lists(_SEGMENTS, max_size=3)))
+    return Label(label_kind, authority, path)
+
+
+@st.composite
+def label_sets(draw, max_size: int = 5) -> LabelSet:
+    return LabelSet(draw(st.lists(labels(), max_size=max_size)))
+
+
+#: Attribute dictionaries as events carry them (string → string).
+attribute_keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10
+)
+attribute_values = st.one_of(
+    st.text(max_size=20),
+    st.integers(-1000, 1000).map(str),
+    st.floats(-100, 100, allow_nan=False).map(str),
+)
+attributes = st.dictionaries(attribute_keys, attribute_values, max_size=6)

@@ -1,0 +1,123 @@
+"""Property-based tests: enforcement invariants of the engine and store.
+
+The security arguments of §3–§4 reduce to a handful of invariants that
+must hold for *any* labels and privileges:
+
+* a unit without declassification can never publish an event whose
+  confidentiality is below its ambient input;
+* clearance filtering at the broker admits exactly the subscribers whose
+  privileges cover the event;
+* the store's read-widen/write-stamp cycle never drops labels.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.labels import LabelSet
+from repro.core.principals import UnitPrincipal
+from repro.core.privileges import CLEARANCE, DECLASSIFICATION, PrivilegeSet
+from repro.events.broker import Broker, Subscription
+from repro.events.context import LabelContext
+from repro.events.event import Event
+from repro.events.store import LabeledStore
+from repro.exceptions import DeclassificationError
+
+from tests.property.strategies import label_sets, labels
+
+conf_labels = st.lists(labels(kind="conf"), max_size=4).map(LabelSet)
+
+
+class TestBrokerClearanceExactness:
+    @given(conf_labels, conf_labels)
+    def test_delivery_iff_clearance_covers(self, event_labels, clearance_labels):
+        clearance = PrivilegeSet({CLEARANCE: list(clearance_labels)})
+        subscription = Subscription(
+            subscription_id="s",
+            topic="/t",
+            callback=lambda e: None,
+            principal="p",
+            clearance=clearance,
+        )
+        event = Event("/t", labels=event_labels)
+        expected = event_labels.confidentiality <= clearance_labels.confidentiality
+        # Hierarchical grants can only widen, so equality→delivery holds
+        # and subset-failure→denial holds when grants are exact labels.
+        assert subscription.cleared_for(event) == clearance.clearance_covers(event_labels)
+        if expected:
+            assert subscription.cleared_for(event)
+
+    @given(conf_labels)
+    def test_empty_clearance_blocks_all_labelled_events(self, event_labels):
+        broker = Broker()
+        received = []
+        broker.subscribe("/t", received.append)
+        broker.publish(Event("/t", labels=event_labels))
+        assert bool(received) == (not event_labels.confidentiality)
+
+
+class TestStoreLabelMonotonicity:
+    @given(conf_labels, conf_labels)
+    def test_read_then_write_accumulates(self, first_write, second_ambient):
+        store = LabeledStore(UnitPrincipal("u", privileges=PrivilegeSet.empty()))
+        with LabelContext(first_write):
+            store.set("k", "v1")
+        with LabelContext(second_ambient):
+            _value = store.get("k")
+            store.set("k", "v2")
+        stored = store.labels_for("k")
+        assert first_write.confidentiality <= stored.confidentiality
+        assert second_ambient.confidentiality <= stored.confidentiality
+
+    @given(conf_labels, conf_labels)
+    def test_removal_without_privilege_always_denied(self, ambient, to_remove):
+        store = LabeledStore(UnitPrincipal("u", privileges=PrivilegeSet.empty()))
+        with LabelContext(ambient):
+            if to_remove.confidentiality:
+                try:
+                    store.set("k", "v", remove=to_remove)
+                except DeclassificationError:
+                    return
+                raise AssertionError("removal of conf labels must require privilege")
+            store.set("k", "v", remove=to_remove)
+
+    @given(conf_labels, conf_labels)
+    def test_removal_with_privilege_never_below_difference(self, ambient, to_remove):
+        privileges = PrivilegeSet({DECLASSIFICATION: list(to_remove)})
+        store = LabeledStore(UnitPrincipal("u", privileges=privileges))
+        with LabelContext(ambient):
+            stored = store.set("k", "v", remove=to_remove)
+        assert stored.confidentiality == (ambient - to_remove).confidentiality
+
+
+class TestPublishEnforcement:
+    @given(conf_labels, conf_labels)
+    def test_publish_without_privilege_preserves_confidentiality(
+        self, event_labels, add_labels
+    ):
+        """Whatever a powerless unit does, outgoing ⊇ incoming labels."""
+        from repro.events.engine import EventProcessingEngine
+        from repro.events.unit import Unit
+
+        broker = Broker(raise_errors=True)
+        engine = EventProcessingEngine(broker=broker, raise_callback_errors=True)
+        outgoing = []
+
+        class Forwarder(Unit):
+            unit_name = "forwarder"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                self.publish("/out", add=list(add_labels))
+
+        clearance = PrivilegeSet({CLEARANCE: list(event_labels)})
+        engine.register(Forwarder(), principal=UnitPrincipal("forwarder", clearance))
+        broker.subscribe(
+            "/out",
+            outgoing.append,
+            clearance=PrivilegeSet({CLEARANCE: list(event_labels | add_labels)}),
+        )
+        engine.publish("/in", labels=event_labels)
+        assert len(outgoing) == 1
+        assert event_labels.confidentiality <= outgoing[0].labels.confidentiality
+        assert add_labels.confidentiality <= outgoing[0].labels.confidentiality

@@ -1,0 +1,114 @@
+"""Property-based tests: the label lattice algebra (paper §4.1).
+
+The IFC guarantees rest on algebraic properties of label combination:
+confidentiality must behave like a join (union) and integrity like a
+meet (intersection). Hypothesis explores the space.
+"""
+
+from hypothesis import given
+
+from repro.core.labels import LabelSet, parse_label
+
+from tests.property.strategies import label_sets, labels
+
+
+class TestCombineAlgebra:
+    @given(label_sets(), label_sets())
+    def test_confidentiality_monotone(self, a, b):
+        """Combining can never *lose* a confidentiality label."""
+        combined = a.combine(b)
+        assert a.confidentiality <= combined.confidentiality
+        assert b.confidentiality <= combined.confidentiality
+
+    @given(label_sets(), label_sets())
+    def test_integrity_antitone(self, a, b):
+        """Combining can never *gain* an integrity label."""
+        combined = a.combine(b)
+        assert combined.integrity <= a.integrity
+        assert combined.integrity <= b.integrity
+
+    @given(label_sets(), label_sets())
+    def test_commutative(self, a, b):
+        assert a.combine(b) == b.combine(a)
+
+    @given(label_sets(), label_sets(), label_sets())
+    def test_associative(self, a, b, c):
+        assert a.combine(b).combine(c) == a.combine(b.combine(c))
+
+    @given(label_sets())
+    def test_idempotent(self, a):
+        assert a.combine(a) == a
+
+    @given(label_sets(), label_sets(), label_sets())
+    def test_variadic_equals_folded(self, a, b, c):
+        assert a.combine(b, c) == a.combine(b).combine(c)
+
+    @given(label_sets())
+    def test_empty_set_is_conf_identity_and_int_annihilator(self, a):
+        combined = a.combine(LabelSet())
+        assert combined.confidentiality == a.confidentiality
+        assert combined.integrity == frozenset()
+
+
+class TestFlowOrdering:
+    @given(label_sets())
+    def test_flows_to_reflexive(self, a):
+        assert a.flows_to(a)
+
+    @given(label_sets(), label_sets())
+    def test_combined_data_needs_both_clearances(self, a, b):
+        combined = a.combine(b)
+        clearance = a | b
+        assert combined.flows_to(clearance)
+
+    @given(label_sets(), label_sets())
+    def test_flow_blocked_unless_superset(self, a, clearance):
+        assert a.flows_to(clearance) == (a.confidentiality <= clearance.confidentiality)
+
+    @given(label_sets(), label_sets(), label_sets())
+    def test_flows_to_transitive_over_union(self, a, b, c):
+        if a.flows_to(b) and b.flows_to(c):
+            assert a.flows_to(b | c)
+
+    @given(label_sets(), label_sets())
+    def test_combine_never_weakens_release_requirements(self, a, b):
+        """Anything the combination may flow to, each part may flow to."""
+        combined = a.combine(b)
+        assert combined.flows_to(combined)
+        # a's labels are a subset, so any clearance for combined covers a
+        assert a.flows_to(LabelSet(combined.confidentiality))
+
+
+class TestSerialisation:
+    @given(labels())
+    def test_uri_round_trip(self, label):
+        assert parse_label(label.uri) == label
+
+    @given(label_sets())
+    def test_uris_round_trip(self, labels_in):
+        assert LabelSet.from_uris(labels_in.to_uris()) == labels_in
+
+    @given(label_sets())
+    def test_uris_sorted_and_stable(self, labels_in):
+        uris = labels_in.to_uris()
+        assert uris == sorted(uris)
+        assert labels_in.to_uris() == uris
+
+
+class TestSetOperations:
+    @given(label_sets(), label_sets())
+    def test_union_is_lub(self, a, b):
+        union = a | b
+        assert a <= union
+        assert b <= union
+
+    @given(label_sets(), label_sets())
+    def test_difference_removes(self, a, b):
+        difference = a - b
+        assert all(label not in difference for label in b)
+
+    @given(label_sets())
+    def test_add_remove_inverse_on_fresh_labels(self, a):
+        fresh = parse_label("label:conf:fresh.example/x")
+        if fresh not in a:
+            assert a.add(fresh).remove(fresh) == a

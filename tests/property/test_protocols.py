@@ -1,0 +1,187 @@
+"""Property-based tests: codecs and protocol invariants.
+
+STOMP frames, event serialisation, selector evaluation and docstore MVCC
+must all be total over arbitrary inputs — a malformed byte sequence may
+be rejected but must never corrupt state or mislabel data.
+"""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.labels import LabelSet
+from repro.events.event import Event
+from repro.events.selector import Selector
+from repro.events.stomp.frames import Frame, FrameParser, encode_frame
+from repro.exceptions import SelectorSyntaxError
+
+from tests.property.strategies import attributes, label_sets
+
+header_names = st.text(min_size=1, max_size=12).filter(
+    lambda name: name not in ("content-length",)
+)
+header_values = st.text(max_size=30)
+bodies = st.text(max_size=200)
+
+
+class TestStompFrameCodec:
+    @given(
+        st.sampled_from(["SEND", "SUBSCRIBE", "MESSAGE", "CONNECT"]),
+        st.dictionaries(header_names, header_values, max_size=6),
+        bodies,
+    )
+    def test_round_trip(self, command, headers, body):
+        frame = Frame(command, headers, body)
+        decoded = FrameParser().feed(encode_frame(frame))
+        assert len(decoded) == 1
+        assert decoded[0] == frame
+
+    @given(
+        st.lists(
+            st.tuples(st.dictionaries(header_names, header_values, max_size=3), bodies),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_stream_of_frames(self, specs):
+        wire = b"".join(encode_frame(Frame("SEND", h, b)) for h, b in specs)
+        decoded = FrameParser().feed(wire)
+        assert len(decoded) == len(specs)
+        for frame, (headers, body) in zip(decoded, specs):
+            assert frame.headers == headers
+            assert frame.body == body
+
+    @given(
+        st.dictionaries(header_names, header_values, max_size=4),
+        bodies,
+        st.integers(1, 7),
+    )
+    def test_arbitrary_chunking(self, headers, body, chunk_size):
+        wire = encode_frame(Frame("SEND", headers, body))
+        parser = FrameParser()
+        frames = []
+        for start in range(0, len(wire), chunk_size):
+            frames.extend(parser.feed(wire[start : start + chunk_size]))
+        assert len(frames) == 1
+        assert frames[0].body == body
+
+
+class TestEventSerialisation:
+    @given(attributes, st.one_of(st.none(), bodies), label_sets())
+    def test_json_round_trip(self, attrs, payload, labels):
+        event = Event("/topic/a", attrs, payload, labels)
+        restored = Event.from_json(event.to_json())
+        assert restored == event
+        assert restored.labels == labels
+
+
+class TestSelectorTotality:
+    @given(attributes, st.integers(-100, 100))
+    def test_numeric_comparisons_never_crash(self, attrs, threshold):
+        selector = Selector(f"age > {threshold}")
+        assert selector.matches(attrs) in (True, False)
+
+    @given(attributes, st.text(alphabet="abcdef%_", max_size=8))
+    def test_like_never_crashes(self, attrs, pattern):
+        escaped = pattern.replace("'", "''")
+        selector = Selector(f"name LIKE '{escaped}'")
+        assert selector.matches(attrs) in (True, False)
+
+    @given(attributes)
+    def test_tautology_and_contradiction(self, attrs):
+        assert Selector("1 = 1").matches(attrs)
+        assert not Selector("1 = 2").matches(attrs)
+
+    @given(st.text(max_size=30))
+    def test_parser_total(self, text):
+        """Any input either parses or raises SelectorSyntaxError."""
+        try:
+            selector = Selector(text)
+        except SelectorSyntaxError:
+            return
+        assert selector.matches({}) in (True, False)
+
+    @given(attributes, st.sampled_from(["x", "type", "missing"]))
+    def test_negation_of_null_is_not_match(self, attrs, name):
+        assume(name not in attrs)
+        assert not Selector(f"{name} = 'v'").matches(attrs)
+        assert not Selector(f"NOT {name} = 'v'").matches(attrs)
+
+
+class TestDocstoreMvcc:
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]),
+                st.one_of(st.text(max_size=10), st.integers(-100, 100)),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_sequential_updates_only_with_fresh_rev(self, bodies_list):
+        from repro.storage.docstore import Database
+
+        db = Database("prop")
+        rev = None
+        seen_revs = set()
+        for body in bodies_list:
+            doc = {"_id": "doc", **body}
+            if rev is not None:
+                doc["_rev"] = rev
+            outcome = db.put(doc)
+            assert outcome["rev"] not in seen_revs
+            seen_revs.add(outcome["rev"])
+            rev = outcome["rev"]
+        stored = db.get("doc")
+        final = {k: v for k, v in stored.items() if k not in ("_id", "_rev")}
+        assert final == bodies_list[-1]
+        assert db.update_seq == len(bodies_list)
+
+    @given(st.integers(1, 20))
+    def test_changes_feed_monotone(self, writes):
+        from repro.storage.docstore import Database
+
+        db = Database("prop")
+        for index in range(writes):
+            db.put({"_id": f"d{index}", "n": index})
+        changes = db.changes()
+        seqs = [change.seq for change in changes]
+        assert seqs == sorted(seqs)
+        assert len(changes) == writes
+
+    @given(label_sets(max_size=3), st.text(max_size=10))
+    def test_label_persistence_arbitrary(self, labels, value):
+        from repro.storage.docstore import Database
+        from repro.taint import labels_of, with_labels
+
+        db = Database("prop")
+        db.put({"_id": "doc", "field": with_labels(value, labels)})
+        restored = db.get("doc")["field"]
+        assert labels.confidentiality <= labels_of(restored).confidentiality
+        assert restored == value
+
+
+class TestPolicyRoundTrip:
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdefghij_", min_size=1, max_size=8),
+            st.booleans(),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_policy_json_round_trip(self, unit_specs):
+        from repro.core.policy import Policy, PolicyDocument, UnitSpec
+
+        document = PolicyDocument(authority="a.org")
+        for name, privileged in unit_specs.items():
+            document.units[name] = UnitSpec(
+                name=name,
+                privileged=privileged,
+                grants={"clearance": [f"label:conf:a.org/{name}"]},
+            )
+        rebuilt = PolicyDocument.from_json(document.to_json())
+        policy = Policy(rebuilt)
+        assert policy.unit_names == sorted(unit_specs)
+        for name, privileged in unit_specs.items():
+            assert policy.unit(name).privileged == privileged

@@ -1,0 +1,167 @@
+"""Property-based tests: taint-tracking invariants (paper §4.4).
+
+The frontend guarantee is *no-label-loss*: any value derived from a
+labeled value through supported operations carries at least the source's
+confidentiality labels. Hypothesis drives random strings, numbers and
+operation choices through the labeled types.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.labels import LabelSet
+from repro.taint import (
+    LabeledFloat,
+    LabeledInt,
+    LabeledStr,
+    labels_of,
+    strip_labels,
+    with_labels,
+)
+
+from tests.property.strategies import label_sets
+
+texts = st.text(max_size=30)
+small_ints = st.integers(-10_000, 10_000)
+floats = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+class TestStringNoLabelLoss:
+    @given(texts, texts, label_sets())
+    def test_concat_left(self, a, b, labels):
+        result = LabeledStr(a, labels=labels) + b
+        assert labels.confidentiality <= labels_of(result).confidentiality
+
+    @given(texts, texts, label_sets())
+    def test_concat_right(self, a, b, labels):
+        result = a + LabeledStr(b, labels=labels)
+        assert labels.confidentiality <= labels_of(result).confidentiality
+
+    @given(texts, label_sets(), label_sets())
+    def test_concat_unions(self, text, left_labels, right_labels):
+        result = LabeledStr(text, labels=left_labels) + LabeledStr(text, labels=right_labels)
+        expected = left_labels.confidentiality | right_labels.confidentiality
+        assert labels_of(result).confidentiality == expected
+
+    @given(texts, label_sets())
+    def test_case_methods(self, text, labels):
+        value = LabeledStr(text, labels=labels)
+        for derived in (value.upper(), value.lower(), value.strip(), value[::-1]):
+            assert labels.confidentiality <= labels_of(derived).confidentiality
+
+    @given(texts, label_sets(), st.integers(0, 5))
+    def test_repetition(self, text, labels, count):
+        result = LabeledStr(text, labels=labels) * count
+        assert labels.confidentiality <= labels_of(result).confidentiality
+
+    @given(texts, label_sets())
+    def test_split_parts_all_labeled(self, text, labels):
+        for part in LabeledStr(text, labels=labels).split():
+            assert labels.confidentiality <= labels_of(part).confidentiality
+
+    @given(texts, label_sets())
+    def test_value_equality_unaffected(self, text, labels):
+        assert LabeledStr(text, labels=labels) == text
+
+    @given(texts, label_sets())
+    def test_strip_labels_round_trip(self, text, labels):
+        labeled = LabeledStr(text, labels=labels)
+        plain = strip_labels(labeled)
+        assert type(plain) is str
+        assert plain == text
+        assert labels_of(plain) == LabelSet()
+
+    @given(texts, label_sets())
+    def test_encode_decode(self, text, labels):
+        value = LabeledStr(text, labels=labels)
+        assert labels.confidentiality <= labels_of(value.encode().decode()).confidentiality
+
+
+class TestNumberNoLabelLoss:
+    @given(small_ints, small_ints, label_sets())
+    def test_int_arithmetic(self, a, b, labels):
+        value = LabeledInt(a, labels=labels)
+        results = [value + b, value - b, value * b, b + value, b - value, b * value]
+        if b != 0:
+            results += [value // b, value % b, value / b]
+        for result in results:
+            assert labels.confidentiality <= labels_of(result).confidentiality
+
+    @given(floats, floats, label_sets())
+    def test_float_arithmetic(self, a, b, labels):
+        value = LabeledFloat(a, labels=labels)
+        results = [value + b, value - b, value * b, b + value]
+        if b != 0:
+            results.append(value / b)
+        for result in results:
+            assert labels.confidentiality <= labels_of(result).confidentiality
+
+    @given(small_ints, label_sets())
+    def test_int_to_string_conversion(self, a, labels):
+        value = LabeledInt(a, labels=labels)
+        assert labels.confidentiality <= labels_of(str(value)).confidentiality
+        assert labels.confidentiality <= labels_of(format(value, "d")).confidentiality
+
+    @given(small_ints, label_sets())
+    def test_unary(self, a, labels):
+        value = LabeledInt(a, labels=labels)
+        for result in (-value, +value, abs(value), ~value):
+            assert labels.confidentiality <= labels_of(result).confidentiality
+
+    @given(small_ints, label_sets())
+    def test_arithmetic_value_unaffected(self, a, labels):
+        assert LabeledInt(a, labels=labels) + 1 == a + 1
+
+
+class TestContainers:
+    @given(st.lists(texts, max_size=5), label_sets())
+    def test_with_labels_labels_every_leaf(self, items, labels):
+        wrapped = with_labels(items, labels)
+        for item in wrapped:
+            assert labels.confidentiality <= labels_of(item).confidentiality
+
+    @given(st.dictionaries(texts.filter(bool), small_ints, max_size=5), label_sets())
+    def test_dict_round_trip(self, data, labels):
+        wrapped = with_labels(data, labels)
+        stripped = strip_labels(wrapped)
+        assert stripped == data
+        assert labels_of(stripped) == LabelSet()
+
+    @given(st.lists(texts, min_size=1, max_size=5), label_sets())
+    def test_container_labels_cover_leaf_labels(self, items, labels):
+        wrapped = with_labels(items, labels)
+        assert labels.confidentiality <= labels_of(wrapped).confidentiality
+
+
+class TestJsonCodec:
+    @given(
+        st.dictionaries(
+            texts.filter(bool),
+            st.one_of(texts, small_ints, st.booleans(), st.none()),
+            max_size=5,
+        ),
+        label_sets(),
+    )
+    def test_dumps_carries_content_labels(self, data, labels):
+        from repro.taint import json_codec
+
+        wrapped = with_labels(data, labels)
+        dumped = json_codec.dumps(wrapped)
+        content = labels_of(wrapped)
+        assert content.confidentiality <= labels_of(dumped).confidentiality
+
+    @given(
+        st.dictionaries(
+            texts.filter(bool),
+            st.one_of(texts, small_ints, st.lists(texts, max_size=3)),
+            max_size=5,
+        ),
+        label_sets(max_size=3),
+    )
+    def test_document_sidecar_round_trip(self, data, labels):
+        from repro.taint import json_codec
+
+        wrapped = with_labels(data, labels)
+        plain, sidecar = json_codec.encode_document(wrapped)
+        restored = json_codec.decode_document(plain, sidecar)
+        assert strip_labels(restored) == data
+        assert labels_of(wrapped).confidentiality <= labels_of(restored).confidentiality

@@ -1,0 +1,184 @@
+"""Unit tests for the label model (paper §4.1)."""
+
+import pytest
+
+from repro.core.labels import (
+    CONFIDENTIALITY,
+    INTEGRITY,
+    Label,
+    LabelSet,
+    conf_label,
+    int_label,
+    parse_label,
+)
+from repro.exceptions import LabelError
+
+PATIENT = conf_label("ecric.org.uk", "patient", "33812769")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+MDT_INT = int_label("ecric.org.uk", "mdt")
+REGION = conf_label("ecric.org.uk", "region", "east")
+
+
+class TestLabel:
+    def test_uri_round_trip(self):
+        assert parse_label(PATIENT.uri) == PATIENT
+
+    def test_uri_format_matches_paper(self):
+        assert PATIENT.uri == "label:conf:ecric.org.uk/patient/33812769"
+        assert MDT_INT.uri == "label:int:ecric.org.uk/mdt"
+
+    def test_parse_authority_only(self):
+        label = parse_label("label:conf:ecric.org.uk")
+        assert label.authority == "ecric.org.uk"
+        assert label.path == ()
+
+    def test_kinds(self):
+        assert PATIENT.is_confidentiality
+        assert not PATIENT.is_integrity
+        assert MDT_INT.is_integrity
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(LabelError):
+            Label("secret", "a.org")
+
+    def test_empty_authority_rejected(self):
+        with pytest.raises(LabelError):
+            Label(CONFIDENTIALITY, "")
+
+    def test_path_segment_with_slash_rejected(self):
+        with pytest.raises(LabelError):
+            Label(CONFIDENTIALITY, "a.org", ("a/b",))
+
+    def test_empty_path_segment_rejected(self):
+        with pytest.raises(LabelError):
+            Label(CONFIDENTIALITY, "a.org", ("",))
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "label:conf:", "conf:a.org/x", "label:secret:a.org", "label:conf:a b"],
+    )
+    def test_malformed_uris_rejected(self, bad):
+        with pytest.raises(LabelError):
+            parse_label(bad)
+
+    def test_child_scoping(self):
+        mdt_root = conf_label("ecric.org.uk", "mdt")
+        assert mdt_root.child("1") == MDT
+
+    def test_ancestor_of(self):
+        root = conf_label("ecric.org.uk", "patient")
+        assert root.is_ancestor_of(PATIENT)
+        assert root.is_ancestor_of(root)
+        assert not PATIENT.is_ancestor_of(root)
+
+    def test_ancestor_requires_same_kind(self):
+        conf_root = conf_label("ecric.org.uk", "mdt")
+        assert not conf_root.is_ancestor_of(MDT_INT)
+
+    def test_ancestor_requires_same_authority(self):
+        other = conf_label("other.org", "patient")
+        assert not other.is_ancestor_of(PATIENT)
+
+    def test_hashable_and_eq(self):
+        assert {PATIENT, parse_label(PATIENT.uri)} == {PATIENT}
+
+    def test_path_accepts_iterables(self):
+        label = Label(CONFIDENTIALITY, "a.org", ["x", "y"])
+        assert label.path == ("x", "y")
+
+
+class TestLabelSetBasics:
+    def test_empty(self):
+        assert not LabelSet()
+        assert len(LabelSet()) == 0
+        assert LabelSet.empty() == LabelSet()
+
+    def test_construction_from_uris(self):
+        labels = LabelSet([PATIENT.uri, MDT])
+        assert PATIENT in labels
+        assert MDT in labels
+
+    def test_contains_handles_garbage(self):
+        assert "not-a-label" not in LabelSet([PATIENT])
+
+    def test_partitions(self):
+        labels = LabelSet([PATIENT, MDT_INT])
+        assert labels.confidentiality == {PATIENT}
+        assert labels.integrity == {MDT_INT}
+
+    def test_to_from_uris_round_trip(self):
+        labels = LabelSet([PATIENT, MDT, MDT_INT])
+        assert LabelSet.from_uris(labels.to_uris()) == labels
+
+    def test_uris_sorted(self):
+        labels = LabelSet([REGION, MDT, PATIENT])
+        assert labels.to_uris() == sorted(labels.to_uris())
+
+    def test_set_algebra(self):
+        a = LabelSet([PATIENT, MDT])
+        b = LabelSet([MDT, REGION])
+        assert a | b == LabelSet([PATIENT, MDT, REGION])
+        assert a - b == LabelSet([PATIENT])
+        assert a & b == LabelSet([MDT])
+
+    def test_add_remove_are_pure(self):
+        base = LabelSet([PATIENT])
+        grown = base.add(MDT)
+        shrunk = grown.remove(PATIENT)
+        assert base == LabelSet([PATIENT])
+        assert grown == LabelSet([PATIENT, MDT])
+        assert shrunk == LabelSet([MDT])
+
+    def test_eq_against_plain_sets(self):
+        assert LabelSet([PATIENT]) == {PATIENT}
+
+    def test_hashable(self):
+        assert {LabelSet([PATIENT]), LabelSet([PATIENT])} == {LabelSet([PATIENT])}
+
+    def test_subset_ordering(self):
+        assert LabelSet([PATIENT]) <= LabelSet([PATIENT, MDT])
+        assert not LabelSet([PATIENT, MDT]) <= LabelSet([PATIENT])
+
+
+class TestFlowComposition:
+    """The sticky/fragile composition rules of §4.1."""
+
+    def test_confidentiality_is_sticky(self):
+        derived = LabelSet([PATIENT]).combine(LabelSet([MDT]))
+        assert derived.confidentiality == {PATIENT, MDT}
+
+    def test_integrity_is_fragile(self):
+        high = LabelSet([MDT_INT])
+        low = LabelSet()
+        assert LabelSet(high).combine(low).integrity == frozenset()
+
+    def test_integrity_preserved_when_all_inputs_carry_it(self):
+        a = LabelSet([MDT_INT, PATIENT])
+        b = LabelSet([MDT_INT, MDT])
+        combined = a.combine(b)
+        assert combined.integrity == {MDT_INT}
+        assert combined.confidentiality == {PATIENT, MDT}
+
+    def test_combine_multiple(self):
+        combined = LabelSet([PATIENT]).combine(LabelSet([MDT]), LabelSet([REGION]))
+        assert combined.confidentiality == {PATIENT, MDT, REGION}
+
+    def test_combine_accepts_plain_iterables(self):
+        combined = LabelSet([PATIENT]).combine([MDT])
+        assert MDT in combined
+
+    def test_flows_to(self):
+        data = LabelSet([MDT])
+        assert data.flows_to(LabelSet([MDT, REGION]))
+        assert not data.flows_to(LabelSet([REGION]))
+        assert LabelSet().flows_to(LabelSet())
+
+    def test_integrity_does_not_block_release(self):
+        data = LabelSet([MDT_INT])
+        assert data.flows_to(LabelSet())
+
+    def test_meets_integrity(self):
+        data = LabelSet([MDT_INT])
+        assert data.meets_integrity(LabelSet([MDT_INT]))
+        assert LabelSet().meets_integrity(LabelSet())
+        assert not LabelSet().meets_integrity(LabelSet([MDT_INT]))

@@ -1,0 +1,131 @@
+"""Unit tests for privileges (paper §4.1)."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label, int_label
+from repro.core.privileges import (
+    CLEARANCE,
+    DECLASSIFICATION,
+    ENDORSEMENT,
+    Privilege,
+    PrivilegeSet,
+)
+from repro.exceptions import PolicyError
+
+PATIENT_ROOT = conf_label("ecric.org.uk", "patient")
+PATIENT_1 = PATIENT_ROOT.child("1")
+PATIENT_2 = PATIENT_ROOT.child("2")
+MDT_1 = conf_label("ecric.org.uk", "mdt", "1")
+MDT_INT = int_label("ecric.org.uk", "mdt")
+
+
+class TestPrivilege:
+    def test_covers_exact_and_hierarchical(self):
+        grant = Privilege(CLEARANCE, PATIENT_ROOT)
+        assert grant.covers(PATIENT_ROOT)
+        assert grant.covers(PATIENT_1)
+        assert not grant.covers(MDT_1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolicyError):
+            Privilege("superuser", PATIENT_1)
+
+    def test_accepts_uri_strings(self):
+        grant = Privilege(CLEARANCE, PATIENT_1.uri)
+        assert grant.label == PATIENT_1
+
+    def test_eq_hash(self):
+        assert Privilege(CLEARANCE, PATIENT_1) == Privilege(CLEARANCE, PATIENT_1.uri)
+        assert len({Privilege(CLEARANCE, PATIENT_1), Privilege(CLEARANCE, PATIENT_1)}) == 1
+
+
+class TestPrivilegeSet:
+    def test_empty_set_grants_nothing(self):
+        privileges = PrivilegeSet.empty()
+        assert not privileges.grants(CLEARANCE, PATIENT_1)
+        assert not privileges
+
+    def test_empty_set_covers_unlabelled_data(self):
+        assert PrivilegeSet.empty().clearance_covers(LabelSet())
+
+    def test_clearance_covers(self):
+        privileges = PrivilegeSet({CLEARANCE: [MDT_1, PATIENT_1]})
+        assert privileges.clearance_covers(LabelSet([MDT_1]))
+        assert privileges.clearance_covers(LabelSet([MDT_1, PATIENT_1]))
+        assert not privileges.clearance_covers(LabelSet([PATIENT_2]))
+
+    def test_hierarchical_clearance(self):
+        privileges = PrivilegeSet({CLEARANCE: [PATIENT_ROOT]})
+        assert privileges.clearance_covers(LabelSet([PATIENT_1, PATIENT_2]))
+
+    def test_integrity_labels_do_not_affect_clearance(self):
+        privileges = PrivilegeSet.empty()
+        assert privileges.clearance_covers(LabelSet([MDT_INT]))
+
+    def test_can_declassify(self):
+        privileges = PrivilegeSet({DECLASSIFICATION: [MDT_1]})
+        assert privileges.can_declassify(LabelSet([MDT_1]))
+        assert not privileges.can_declassify(LabelSet([PATIENT_1]))
+
+    def test_clearance_does_not_imply_declassification(self):
+        privileges = PrivilegeSet({CLEARANCE: [MDT_1]})
+        assert not privileges.can_declassify(LabelSet([MDT_1]))
+
+    def test_can_endorse(self):
+        privileges = PrivilegeSet({ENDORSEMENT: [MDT_INT]})
+        assert privileges.can_endorse(LabelSet([MDT_INT]))
+        assert not PrivilegeSet.empty().can_endorse(LabelSet([MDT_INT]))
+
+    def test_missing_clearance_reports_exact_labels(self):
+        privileges = PrivilegeSet({CLEARANCE: [MDT_1]})
+        missing = privileges.missing_clearance(LabelSet([MDT_1, PATIENT_1, PATIENT_2]))
+        assert missing == {PATIENT_1, PATIENT_2}
+
+    def test_missing_declassification(self):
+        privileges = PrivilegeSet({DECLASSIFICATION: [MDT_1]})
+        missing = privileges.missing_declassification(LabelSet([MDT_1, PATIENT_1]))
+        assert missing == {PATIENT_1}
+
+    def test_merge(self):
+        a = PrivilegeSet({CLEARANCE: [MDT_1]})
+        b = PrivilegeSet({CLEARANCE: [PATIENT_1], DECLASSIFICATION: [MDT_1]})
+        merged = a.merge(b)
+        assert merged.clearance_covers(LabelSet([MDT_1, PATIENT_1]))
+        assert merged.can_declassify(LabelSet([MDT_1]))
+
+    def test_restrict(self):
+        privileges = PrivilegeSet({CLEARANCE: [MDT_1], DECLASSIFICATION: [MDT_1]})
+        only_clearance = privileges.restrict([CLEARANCE])
+        assert only_clearance.grants(CLEARANCE, MDT_1)
+        assert not only_clearance.can_declassify(LabelSet([MDT_1]))
+
+    def test_without_clearance_for_exact(self):
+        privileges = PrivilegeSet({CLEARANCE: [MDT_1, PATIENT_1]})
+        reduced = privileges.without_clearance_for([MDT_1])
+        assert not reduced.grants(CLEARANCE, MDT_1)
+        assert reduced.grants(CLEARANCE, PATIENT_1)
+
+    def test_without_clearance_removes_covering_ancestor(self):
+        privileges = PrivilegeSet({CLEARANCE: [PATIENT_ROOT]})
+        reduced = privileges.without_clearance_for([PATIENT_1])
+        # The hierarchical root would still cover the withheld label, so it
+        # must go entirely.
+        assert not reduced.grants(CLEARANCE, PATIENT_1)
+        assert not reduced.grants(CLEARANCE, PATIENT_2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PolicyError):
+            PrivilegeSet({"root": [MDT_1]})
+        with pytest.raises(PolicyError):
+            PrivilegeSet.empty().labels_for("root")
+
+    def test_dict_round_trip(self):
+        privileges = PrivilegeSet({CLEARANCE: [MDT_1], ENDORSEMENT: [MDT_INT]})
+        assert PrivilegeSet.from_dict(privileges.to_dict()) == privileges
+
+    def test_from_privileges(self):
+        privileges = PrivilegeSet.from_privileges(
+            [Privilege(CLEARANCE, MDT_1), Privilege(DECLASSIFICATION, MDT_1)]
+        )
+        assert privileges.grants(CLEARANCE, MDT_1)
+        assert privileges.can_declassify(LabelSet([MDT_1]))

@@ -1,0 +1,13 @@
+"""Helper module for scope-isolation tests: module-global mutation target."""
+
+GLOBAL_VALUE = "initial"
+
+
+def set_global(value):
+    global GLOBAL_VALUE
+    GLOBAL_VALUE = value
+    return GLOBAL_VALUE
+
+
+def read_global():
+    return GLOBAL_VALUE

@@ -1,0 +1,99 @@
+"""Unit tests for the ambient label context."""
+
+import threading
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.events import LabelContext, current_labels, extend_labels
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+class TestLabelContext:
+    def test_empty_outside_context(self):
+        assert current_labels() == LabelSet()
+
+    def test_initial_labels(self):
+        with LabelContext(LabelSet([PATIENT])):
+            assert current_labels() == LabelSet([PATIENT])
+        assert current_labels() == LabelSet()
+
+    def test_extend(self):
+        with LabelContext(LabelSet([PATIENT])) as context:
+            extend_labels(LabelSet([MDT]))
+            assert current_labels() == LabelSet([PATIENT, MDT])
+            assert context.labels == LabelSet([PATIENT, MDT])
+
+    def test_extend_accepts_iterables(self):
+        with LabelContext():
+            extend_labels([PATIENT])
+            assert current_labels() == LabelSet([PATIENT])
+
+    def test_extend_outside_context_raises(self):
+        with pytest.raises(RuntimeError):
+            extend_labels(LabelSet([PATIENT]))
+
+    def test_nesting_restores(self):
+        with LabelContext(LabelSet([PATIENT])):
+            with LabelContext(LabelSet([MDT])):
+                assert current_labels() == LabelSet([MDT])
+            assert current_labels() == LabelSet([PATIENT])
+
+    def test_inner_extension_does_not_leak_to_outer(self):
+        with LabelContext(LabelSet([PATIENT])):
+            with LabelContext():
+                extend_labels([MDT])
+            assert current_labels() == LabelSet([PATIENT])
+
+    def test_per_thread_isolation(self):
+        seen = {}
+
+        def worker():
+            seen["inner"] = current_labels()
+            with LabelContext(LabelSet([MDT])):
+                seen["inner_context"] = current_labels()
+
+        with LabelContext(LabelSet([PATIENT])):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert current_labels() == LabelSet([PATIENT])
+        assert seen["inner"] == LabelSet()
+        assert seen["inner_context"] == LabelSet([MDT])
+
+
+class TestCombineAmbient:
+    def test_confidentiality_widens(self):
+        from repro.events.context import combine_ambient
+
+        with LabelContext(LabelSet([PATIENT])):
+            combine_ambient(LabelSet([MDT]))
+            assert current_labels().confidentiality == {PATIENT, MDT}
+
+    def test_integrity_narrows(self):
+        from repro.core.labels import int_label
+        from repro.events.context import combine_ambient
+
+        trusted = int_label("ecric.org.uk", "mdt")
+        with LabelContext(LabelSet([trusted, PATIENT])):
+            combine_ambient(LabelSet())  # read of unendorsed data
+            assert current_labels().integrity == frozenset()
+            assert current_labels().confidentiality == {PATIENT}
+
+    def test_integrity_kept_when_input_endorsed(self):
+        from repro.core.labels import int_label
+        from repro.events.context import combine_ambient
+
+        trusted = int_label("ecric.org.uk", "mdt")
+        with LabelContext(LabelSet([trusted])):
+            combine_ambient(LabelSet([trusted, MDT]))
+            assert current_labels().integrity == {trusted}
+            assert MDT in current_labels()
+
+    def test_outside_context_raises(self):
+        from repro.events.context import combine_ambient
+
+        with pytest.raises(RuntimeError):
+            combine_ambient(LabelSet([PATIENT]))

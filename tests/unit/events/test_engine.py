@@ -1,0 +1,359 @@
+"""Unit tests for the event processing engine (paper §4.3)."""
+
+import pytest
+
+from repro.core.audit import AuditLog
+from repro.core.labels import LabelSet, conf_label, int_label
+from repro.core.policy import parse_policy
+from repro.events import Broker, Event, EventProcessingEngine, Unit, unit_from_function
+from repro.exceptions import SafeWebError
+
+PATIENT_ROOT = conf_label("ecric.org.uk", "patient")
+PATIENT_1 = PATIENT_ROOT.child("1")
+LIST_LABEL = conf_label("ecric.org.uk", "patient_list")
+TRUSTED = int_label("ecric.org.uk", "mdt")
+
+POLICY = parse_policy(
+    """
+    authority ecric.org.uk
+
+    unit collector {
+        clearance label:conf:ecric.org.uk/patient
+        declassification label:conf:ecric.org.uk/patient
+        endorsement label:int:ecric.org.uk/mdt
+    }
+
+    unit reader {
+        clearance label:conf:ecric.org.uk/patient
+    }
+
+    unit sink {
+        clearance label:conf:ecric.org.uk/patient
+        clearance label:conf:ecric.org.uk/patient_list
+    }
+
+    unit importer {
+        privileged
+        withhold label:conf:ecric.org.uk/secret
+    }
+    """
+)
+
+
+def make_engine(**kwargs) -> EventProcessingEngine:
+    defaults = dict(
+        broker=Broker(raise_errors=True),
+        policy=POLICY,
+        audit=AuditLog(),
+        raise_callback_errors=True,
+    )
+    defaults.update(kwargs)
+    return EventProcessingEngine(**defaults)
+
+
+class Collector(Unit):
+    unit_name = "collector"
+
+    def setup(self):
+        self.subscribe("/patient_report", self.on_report, selector="type = 'cancer'")
+        self.subscribe("/next_day", self.on_next_day)
+
+    def on_report(self, event):
+        patients = self.store.get("patient_list", [])
+        patients.append(event["patient_id"])
+        self.store.set("patient_list", patients)
+
+    def on_next_day(self, _event):
+        patients = self.store.get("patient_list", [])
+        self.publish(
+            "/daily_report",
+            payload=",".join(patients),
+            remove_all=True,
+            add=[LIST_LABEL],
+        )
+
+
+class TestRegistration:
+    def test_register_resolves_policy_principal(self):
+        engine = make_engine()
+        engine.register(Collector())
+        assert engine.unit_names == ["collector"]
+
+    def test_duplicate_rejected(self):
+        engine = make_engine()
+        engine.register(Collector())
+        with pytest.raises(SafeWebError):
+            engine.register(Collector())
+
+    def test_unknown_unit_fails_closed(self):
+        engine = make_engine()
+
+        class Mystery(Unit):
+            unit_name = "mystery"
+
+        from repro.exceptions import PolicyError
+
+        with pytest.raises(PolicyError):
+            engine.register(Mystery())
+
+    def test_no_policy_requires_explicit_principal(self):
+        engine = EventProcessingEngine(broker=Broker())
+        with pytest.raises(SafeWebError):
+            engine.register(Collector())
+
+    def test_unregister_removes_subscriptions(self):
+        engine = make_engine()
+        engine.register(Collector())
+        engine.unregister("collector")
+        assert engine.unit_names == []
+        assert len(engine.broker) == 0
+
+    def test_unit_outside_engine_raises(self):
+        unit = Collector()
+        with pytest.raises(SafeWebError):
+            unit.publish("/t")
+        with pytest.raises(SafeWebError):
+            unit.store.get("x")
+
+
+class TestListing1Pipeline:
+    """End-to-end reproduction of the paper's Listing 1 behaviour."""
+
+    def test_labels_flow_from_events_through_store_to_publication(self):
+        engine = make_engine()
+        engine.register(Collector())
+        daily = []
+        engine.broker.subscribe(
+            "/daily_report",
+            daily.append,
+            principal="sink",
+            clearance=POLICY.unit("sink").privileges,
+        )
+
+        patient2 = PATIENT_ROOT.child("2")
+        engine.publish("/patient_report", {"type": "cancer", "patient_id": "p1"}, labels=[PATIENT_1])
+        engine.publish("/patient_report", {"type": "cancer", "patient_id": "p2"}, labels=[patient2])
+        engine.publish("/patient_report", {"type": "benign", "patient_id": "p3"}, labels=[PATIENT_1])
+        engine.publish("/next_day", {})
+
+        assert len(daily) == 1
+        report = daily[0]
+        assert report.payload == "p1,p2"
+        # remove_all stripped both patient labels; add applied the list label.
+        assert report.labels == LabelSet([LIST_LABEL])
+
+    def test_store_accumulated_labels(self):
+        engine = make_engine()
+        engine.register(Collector())
+        engine.publish("/patient_report", {"type": "cancer", "patient_id": "p1"}, labels=[PATIENT_1])
+        store = engine.store_of("collector")
+        assert store.labels_for("patient_list") == LabelSet([PATIENT_1])
+
+
+class TestPublishEnforcement:
+    def test_declassification_denied_without_privilege(self):
+        engine = make_engine()
+
+        @unit_from_function("/in", name="reader")
+        def leaky(unit, event):
+            unit.publish("/out", remove_all=True)
+
+        engine.register(leaky)
+        received = []
+        engine.broker.subscribe("/out", received.append, principal="watcher")
+        from repro.exceptions import DeclassificationError
+
+        with pytest.raises(DeclassificationError):
+            engine.publish("/in", labels=[PATIENT_1])
+        assert received == []
+        assert engine.audit.count(component="engine", operation="declassify", decision="denied") == 1
+
+    def test_labels_stick_without_removal(self):
+        engine = make_engine()
+
+        @unit_from_function("/in", name="reader")
+        def forwarder(unit, event):
+            unit.publish("/out", {"from": "forwarder"})
+
+        engine.register(forwarder)
+        received = []
+        engine.broker.subscribe(
+            "/out", received.append, clearance=POLICY.unit("reader").privileges
+        )
+        engine.publish("/in", labels=[PATIENT_1])
+        assert len(received) == 1
+        assert received[0].labels == LabelSet([PATIENT_1])
+
+    def test_adding_confidentiality_needs_no_privilege(self):
+        engine = make_engine()
+        extra = conf_label("ecric.org.uk", "patient", "extra")
+
+        @unit_from_function("/in", name="reader")
+        def wrapper(unit, event):
+            unit.publish("/out", add=[extra])
+
+        engine.register(wrapper)
+        received = []
+        engine.broker.subscribe(
+            "/out", received.append, clearance=POLICY.unit("reader").privileges
+        )
+        engine.publish("/in", labels=[PATIENT_1])
+        assert received[0].labels == LabelSet([PATIENT_1, extra])
+
+    def test_endorsement_requires_privilege(self):
+        engine = make_engine()
+
+        @unit_from_function("/in", name="reader")
+        def endorser(unit, event):
+            unit.publish("/out", add=[TRUSTED])
+
+        engine.register(endorser)
+        from repro.exceptions import EndorsementError
+
+        with pytest.raises(EndorsementError):
+            engine.publish("/in")
+
+    def test_endorsement_with_privilege(self):
+        engine = make_engine()
+
+        @unit_from_function("/in", name="collector")
+        def endorser(unit, event):
+            unit.publish("/out", add=[TRUSTED])
+
+        engine.register(endorser)
+        received = []
+        engine.broker.subscribe("/out", received.append)
+        engine.publish("/in")
+        assert received[0].labels == LabelSet([TRUSTED])
+
+    def test_callback_errors_swallowed_by_default(self):
+        engine = make_engine(raise_callback_errors=False)
+
+        @unit_from_function("/in", name="reader")
+        def broken(unit, event):
+            raise ValueError("bug")
+
+        engine.register(broken)
+        engine.publish("/in")  # must not raise
+        assert engine.audit.count(component="engine", operation="callback", decision="denied") == 1
+
+
+class TestSubscriptionClearance:
+    def test_uncleared_unit_never_sees_event(self):
+        engine = make_engine()
+        seen = []
+
+        @unit_from_function("/secret_topic", name="reader")  # cleared for /patient only
+        def spy(unit, event):
+            seen.append(event)
+
+        engine.register(spy)
+        secret = conf_label("ecric.org.uk", "secret")
+        engine.publish("/secret_topic", labels=[secret])
+        assert seen == []
+        assert engine.broker.stats.label_filtered == 1
+
+    def test_privileged_unit_withholding(self):
+        engine = make_engine()
+        seen = []
+
+        @unit_from_function("/import", name="importer")
+        def importer(unit, event):
+            seen.append(event)
+
+        engine.register(importer)
+        secret = conf_label("ecric.org.uk", "secret")
+        engine.publish("/import", labels=[secret])
+        assert seen == []  # withheld
+        engine.publish("/import")
+        assert len(seen) == 1
+
+
+class TestIsolationIntegration:
+    def test_jailed_unit_cannot_do_io(self, tmp_path):
+        engine = make_engine()
+        target = tmp_path / "leak.txt"
+
+        @unit_from_function("/in", name="reader")
+        def exfiltrate(unit, event):
+            with open(target, "w") as handle:
+                handle.write("secret")
+
+        engine.register(exfiltrate)
+        from repro.exceptions import IsolationError
+
+        with pytest.raises(IsolationError):
+            engine.publish("/in", labels=[PATIENT_1])
+        assert not target.exists()
+        assert engine.audit.count(component="engine", operation="callback", decision="denied") == 1
+
+    def test_privileged_unit_can_do_io(self, tmp_path):
+        engine = make_engine()
+        target = tmp_path / "export.txt"
+
+        @unit_from_function("/in", name="importer")
+        def exporter(unit, event):
+            with open(target, "w") as handle:
+                handle.write("exported")
+
+        engine.register(exporter)
+        engine.publish("/in")
+        assert target.read_text() == "exported"
+
+    def test_privileged_unit_lifted_when_called_from_jailed_publisher(self, tmp_path):
+        """Jailed unit publishes → privileged subscriber still gets I/O."""
+        engine = make_engine()
+        target = tmp_path / "chain.txt"
+
+        @unit_from_function("/in", name="reader")
+        def stage_one(unit, event):
+            unit.publish("/stage2")
+
+        @unit_from_function("/stage2", name="importer")
+        def stage_two(unit, event):
+            target.write_text("written by privileged unit")
+
+        engine.register(stage_one)
+        engine.register(stage_two)
+        engine.publish("/in")
+        assert target.exists()
+
+    def test_isolation_can_be_disabled_for_baseline(self, tmp_path):
+        engine = make_engine(isolation=False)
+        target = tmp_path / "baseline.txt"
+
+        @unit_from_function("/in", name="reader")
+        def writer(unit, event):
+            target.write_text("no jail")
+
+        engine.register(writer)
+        engine.publish("/in")
+        assert target.exists()
+
+    def test_unit_state_not_shared_between_callbacks(self):
+        engine = make_engine()
+
+        class Stateful(Unit):
+            unit_name = "reader"
+
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                # mutations of self land on the isolated copy
+                self.seen.append(event.topic)
+                self.store.set("count", len(self.seen))
+
+        unit = Stateful()
+        engine.register(unit)
+        engine.publish("/in")
+        engine.publish("/in")
+        assert unit.seen == []  # original untouched
+        # Duplication happens at *registration* (paper §4.3), so the
+        # isolated copy accumulates across its own invocations but the
+        # accumulation is invisible outside the jail.
+        assert engine.store_of("reader").get("count") == 2

@@ -1,0 +1,87 @@
+"""Unit tests for the labelled event model."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.events import Event
+from repro.exceptions import SafeWebError
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+class TestEventBasics:
+    def test_construction(self):
+        event = Event("/patient_report", {"type": "cancer"}, payload="body", labels=[PATIENT])
+        assert event.topic == "/patient_report"
+        assert event["type"] == "cancer"
+        assert event.payload == "body"
+        assert event.labels == LabelSet([PATIENT])
+
+    def test_topic_must_be_absolute(self):
+        with pytest.raises(SafeWebError):
+            Event("patient_report")
+        with pytest.raises(SafeWebError):
+            Event("")
+
+    def test_attributes_coerced_to_strings(self):
+        event = Event("/t", {"n": 42, 7: "x"})
+        assert event["n"] == "42"
+        assert event["7"] == "x"
+
+    def test_attribute_access_variants(self):
+        event = Event("/t", {"a": "1"})
+        assert event.get("a") == "1"
+        assert event.get("b") is None
+        assert event.get("b", "dflt") == "dflt"
+        assert "a" in event
+        assert "b" not in event
+
+    def test_immutability(self):
+        event = Event("/t")
+        with pytest.raises(AttributeError):
+            event.topic = "/other"
+        with pytest.raises(AttributeError):
+            del event.topic
+
+    def test_event_ids_monotonic(self):
+        first, second = Event("/t"), Event("/t")
+        assert second.event_id > first.event_id
+
+    def test_equality_includes_labels(self):
+        a = Event("/t", {"k": "v"}, labels=[PATIENT], timestamp=1.0)
+        b = Event("/t", {"k": "v"}, labels=[PATIENT], timestamp=2.0)
+        c = Event("/t", {"k": "v"}, labels=[MDT], timestamp=1.0)
+        assert a == b  # timestamps/ids excluded
+        assert a != c
+        assert hash(a) == hash(b)
+
+
+class TestDerivation:
+    def test_with_labels(self):
+        event = Event("/t", labels=[PATIENT])
+        derived = event.with_labels(LabelSet([MDT]))
+        assert derived.labels == LabelSet([MDT])
+        assert event.labels == LabelSet([PATIENT])
+
+    def test_relabelled(self):
+        event = Event("/t", labels=[PATIENT])
+        derived = event.relabelled(add=[MDT], remove=[PATIENT])
+        assert derived.labels == LabelSet([MDT])
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        event = Event("/t", {"a": "1"}, payload="p", labels=[PATIENT, MDT])
+        restored = Event.from_dict(event.to_dict())
+        assert restored == event
+
+    def test_json_round_trip(self):
+        event = Event("/t", {"a": "1"}, labels=[PATIENT])
+        restored = Event.from_json(event.to_json())
+        assert restored == event
+        assert restored.labels == LabelSet([PATIENT])
+
+    def test_payloadless_round_trip(self):
+        event = Event("/t")
+        assert Event.from_json(event.to_json()).payload is None

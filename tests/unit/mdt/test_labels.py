@@ -1,0 +1,45 @@
+"""Unit tests for the MDT label vocabulary."""
+
+from repro.core.labels import parse_label
+from repro.mdt.labels import (
+    application_integrity_label,
+    mdt_aggregate_label,
+    mdt_aggregate_root,
+    mdt_label,
+    mdt_label_root,
+    patient_label,
+    region_aggregate_label,
+    region_aggregate_root,
+)
+
+
+class TestLabelVocabulary:
+    def test_paper_example_uris(self):
+        assert patient_label("33812769").uri == "label:conf:ecric.org.uk/patient/33812769"
+        assert application_integrity_label().uri == "label:int:ecric.org.uk/mdt"
+
+    def test_mdt_labels(self):
+        assert mdt_label("7").uri == "label:conf:ecric.org.uk/mdt/7"
+        assert mdt_label_root().is_ancestor_of(mdt_label("7"))
+
+    def test_aggregate_labels_distinct_from_patient_level(self):
+        assert not mdt_label_root().is_ancestor_of(mdt_aggregate_label("7"))
+        assert mdt_aggregate_root().is_ancestor_of(mdt_aggregate_label("7"))
+
+    def test_region_labels(self):
+        label = region_aggregate_label("region-1")
+        assert label.uri == "label:conf:ecric.org.uk/region_agg/region-1"
+        assert region_aggregate_root().is_ancestor_of(label)
+
+    def test_all_round_trip_through_uri(self):
+        for label in (
+            patient_label("1"),
+            mdt_label("1"),
+            mdt_aggregate_label("1"),
+            region_aggregate_label("east"),
+            application_integrity_label(),
+        ):
+            assert parse_label(label.uri) == label
+
+    def test_integer_ids_coerced(self):
+        assert mdt_label(3) == mdt_label("3")

@@ -1,0 +1,82 @@
+"""Unit tests for the MDT data-quality metrics."""
+
+from repro.core.labels import LabelSet, conf_label
+from repro.mdt.metrics import (
+    COMPLETENESS_FIELDS,
+    SURVIVAL_BY_STAGE,
+    completeness_percentage,
+    mean,
+    projected_survival,
+    record_completeness,
+)
+from repro.taint import label, labels_of
+
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+def full_record(**overrides):
+    record = {field: "value" for field in COMPLETENESS_FIELDS}
+    record["stage"] = "2"
+    record.update(overrides)
+    return record
+
+
+class TestCompleteness:
+    def test_full_record(self):
+        assert record_completeness(full_record()) == 1.0
+
+    def test_empty_record(self):
+        assert record_completeness({}) == 0.0
+
+    def test_partial_record(self):
+        record = full_record(nhs_number="", date_of_birth="")
+        expected = (len(COMPLETENESS_FIELDS) - 2) / len(COMPLETENESS_FIELDS)
+        assert record_completeness(record) == expected
+
+    def test_percentage_over_records(self):
+        records = [full_record(), full_record(nhs_number="")]
+        value = completeness_percentage(records)
+        expected = (6 + 5) / 12 * 100
+        assert abs(float(value) - expected) < 1e-9
+
+    def test_percentage_empty_input(self):
+        assert completeness_percentage([]) == 0.0
+
+    def test_labels_carried_from_records(self):
+        records = [full_record(stage=label("2", MDT))]
+        value = completeness_percentage(records)
+        # The computation path touches labeled values, so the result is
+        # at least as confidential as its inputs.
+        assert labels_of(value).confidentiality <= LabelSet([MDT]).confidentiality
+
+
+class TestSurvival:
+    def test_known_stages(self):
+        records = [full_record(stage="1"), full_record(stage="4")]
+        value = projected_survival(records)
+        expected = (SURVIVAL_BY_STAGE["1"] + SURVIVAL_BY_STAGE["4"]) / 2
+        assert abs(float(value) - expected) < 1e-9
+
+    def test_unstaged_records_skipped(self):
+        records = [full_record(stage=""), full_record(stage="2")]
+        assert abs(float(projected_survival(records)) - SURVIVAL_BY_STAGE["2"]) < 1e-9
+
+    def test_all_unstaged(self):
+        assert projected_survival([full_record(stage="")]) == 0.0
+
+    def test_labels_carried(self):
+        records = [full_record(stage=label("3", MDT))]
+        value = projected_survival(records)
+        assert labels_of(value) == LabelSet([MDT])
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+    def test_labels(self):
+        values = [label(10, MDT), 20]
+        assert labels_of(mean(values)) == LabelSet([MDT])

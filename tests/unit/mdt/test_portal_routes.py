@@ -1,0 +1,95 @@
+"""Unit tests for portal route edge cases not covered by the pipeline tests."""
+
+import json
+
+import pytest
+
+from repro.mdt.deployment import MdtDeployment
+from repro.mdt.portal import PORTAL_VULNERABILITIES, build_portal
+from repro.mdt.workload import WorkloadConfig
+from repro.exceptions import SafeWebError
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    deployment = MdtDeployment(
+        WorkloadConfig(num_regions=1, mdts_per_region=2, patients_per_mdt=3, seed=47)
+    )
+    deployment.run_pipeline()
+    return deployment
+
+
+class TestRouteEdges:
+    def test_unknown_mdt_in_records_is_403(self, deployment):
+        # Unknown MDT fails the privilege check closed, not with a 404
+        # that would reveal which MDT ids exist.
+        result = deployment.client_for("mdt1").get("/records/999")
+        assert result.status == 403
+
+    def test_unknown_mdt_in_metrics_is_404(self, deployment):
+        result = deployment.client_for("mdt1").get("/metrics/999")
+        assert result.status == 404
+
+    def test_unknown_region_metric_is_404(self, deployment):
+        result = deployment.client_for("mdt1").get("/region/nowhere")
+        assert result.status == 404
+
+    def test_compare_unknown_mdt_is_404(self, deployment):
+        result = deployment.client_for("mdt1").get("/compare/999")
+        assert result.status == 404
+
+    def test_empty_feedback_rejected(self, deployment):
+        result = deployment.client_for("mdt1").post(
+            "/feedback",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+            body="message=",
+        )
+        assert result.status == 400
+
+    def test_admin_route_rejects_non_admin(self, deployment):
+        result = deployment.client_for("mdt1").post(
+            "/admin/mdts",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+            body="mdt_id=1&username=x&password=y",
+        )
+        assert result.status == 403
+
+    def test_admin_route_validates_input(self, deployment):
+        deployment.webdb.add_user("admin2", "pw", is_admin=True)
+        client = deployment.anonymous_client()
+        result = client.post(
+            "/admin/mdts",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+            body="mdt_id=999&username=x&password=y",
+            auth=("admin2", "pw"),
+        )
+        assert result.status == 400
+        result = client.post(
+            "/admin/mdts",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+            body="mdt_id=1&username=&password=y",
+            auth=("admin2", "pw"),
+        )
+        assert result.status == 400
+
+    def test_records_sorted_by_patient_id(self, deployment):
+        result = deployment.client_for("mdt1").get("/records/1")
+        records = json.loads(result.text)
+        ids = [record["patient_id"] for record in records]
+        assert ids == sorted(ids)
+
+    def test_unknown_vulnerability_name_rejected(self, deployment):
+        with pytest.raises(SafeWebError):
+            build_portal(
+                deployment.dmz_db,
+                deployment.webdb,
+                deployment.directory,
+                vulnerability="heartbleed",
+            )
+
+    def test_vulnerability_names_catalogued(self):
+        assert set(PORTAL_VULNERABILITIES) == {
+            "omitted_access_check",
+            "access_check_error",
+            "inappropriate_access_check",
+        }

@@ -1,0 +1,122 @@
+"""Unit tests for the CouchRest-like model layer."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.exceptions import SafeWebError
+from repro.storage import Database, Model
+from repro.taint import label, labels_of
+
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+class Records(Model):
+    view_by = ("mid", "hospital")
+
+
+class Notes(Model):
+    view_by = ("author",)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("app")
+    Records.use(database)
+    return database
+
+
+class TestBinding:
+    def test_unbound_model_raises(self):
+        class Orphan(Model):
+            pass
+
+        with pytest.raises(SafeWebError):
+            Orphan.all()
+
+    def test_bindings_are_per_class(self, db):
+        # Notes was never bound; Records being bound must not leak.
+        with pytest.raises(SafeWebError):
+            Notes.all()
+
+
+class TestCrud:
+    def test_save_assigns_id_and_rev(self, db):
+        record = Records({"mid": "1", "name": "alice"})
+        record.save()
+        assert record.doc_id is not None
+        assert record.rev.startswith("1-")
+
+    def test_save_update(self, db):
+        record = Records({"mid": "1", "n": 1}).save()
+        record["n"] = 2
+        record.save()
+        assert Records.find(record.doc_id)["n"] == 2
+
+    def test_find(self, db):
+        record = Records({"mid": "1"}).save()
+        fetched = Records.find(record.doc_id)
+        assert fetched["mid"] == "1"
+        assert Records.find_or_none("missing") is None
+
+    def test_destroy(self, db):
+        record = Records({"mid": "1"}).save()
+        record.destroy()
+        assert Records.find_or_none(record.doc_id) is None
+
+    def test_destroy_unsaved_raises(self, db):
+        with pytest.raises(SafeWebError):
+            Records({"mid": "1"}).destroy()
+
+    def test_all_and_count(self, db):
+        Records({"mid": "1"}).save()
+        Records({"mid": "2"}).save()
+        assert Records.count() == 2
+        assert len(Records.all()) == 2
+
+
+class TestFinders:
+    def test_by_mid(self, db):
+        Records({"mid": "1", "name": "a"}).save()
+        Records({"mid": "2", "name": "b"}).save()
+        Records({"mid": "1", "name": "c"}).save()
+        found = Records.by_mid(key="1")
+        assert sorted(record["name"] for record in found) == ["a", "c"]
+
+    def test_by_mid_all_keys(self, db):
+        Records({"mid": "1"}).save()
+        Records({"mid": "2"}).save()
+        assert len(Records.by_mid()) == 2
+
+    def test_second_finder(self, db):
+        Records({"mid": "1", "hospital": "h1"}).save()
+        Records({"mid": "2", "hospital": "h2"}).save()
+        assert len(Records.by_hospital(key="h1")) == 1
+
+    def test_finder_returns_labeled_values(self, db):
+        """§4.4 step 2: data fetched via the model layer arrives labeled."""
+        Records({"mid": "1", "name": label("alice", MDT)}).save()
+        found = Records.by_mid(key="1")[0]
+        assert labels_of(found["name"]) == LabelSet([MDT])
+
+    def test_missing_attribute_not_indexed(self, db):
+        Records({"other": "x"}).save()
+        assert Records.by_mid() == []
+
+
+class TestDictBehaviour:
+    def test_mapping_protocol(self, db):
+        record = Records({"mid": "1"})
+        record["extra"] = 2
+        assert record["extra"] == 2
+        assert record.get("missing") is None
+        assert "mid" in record
+        assert set(record.keys()) == {"mid", "extra"}
+        assert record.to_dict() == {"mid": "1", "extra": 2}
+
+    def test_kwargs_construction(self, db):
+        record = Records(mid="1", name="alice")
+        assert record["name"] == "alice"
+
+    def test_equality(self, db):
+        assert Records({"a": 1}) == Records({"a": 1})
+        assert Records({"a": 1}) != Records({"a": 2})

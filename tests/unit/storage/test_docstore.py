@@ -1,0 +1,228 @@
+"""Unit tests for the CouchDB-like document store."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.exceptions import DocumentConflict, DocumentNotFound, ReadOnlyError, SafeWebError
+from repro.storage import Database, DocumentStore
+from repro.taint import label, labels_of
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+@pytest.fixture()
+def db() -> Database:
+    return Database("app")
+
+
+class TestCrud:
+    def test_put_and_get(self, db):
+        outcome = db.put({"_id": "r1", "name": "alice"})
+        assert outcome["id"] == "r1"
+        assert outcome["rev"].startswith("1-")
+        document = db.get("r1")
+        assert document["name"] == "alice"
+        assert document["_rev"] == outcome["rev"]
+
+    def test_put_requires_id(self, db):
+        with pytest.raises(SafeWebError):
+            db.put({"name": "alice"})
+
+    def test_update_requires_current_rev(self, db):
+        outcome = db.put({"_id": "r1", "n": 1})
+        with pytest.raises(DocumentConflict):
+            db.put({"_id": "r1", "n": 2})  # no _rev
+        db.put({"_id": "r1", "_rev": outcome["rev"], "n": 2})
+        assert db.get("r1")["n"] == 2
+        assert db.get("r1")["_rev"].startswith("2-")
+
+    def test_stale_rev_conflicts(self, db):
+        first = db.put({"_id": "r1", "n": 1})
+        db.put({"_id": "r1", "_rev": first["rev"], "n": 2})
+        with pytest.raises(DocumentConflict) as info:
+            db.put({"_id": "r1", "_rev": first["rev"], "n": 3})
+        assert info.value.doc_id == "r1"
+        assert info.value.current_rev.startswith("2-")
+
+    def test_rev_on_new_document_rejected(self, db):
+        with pytest.raises(DocumentConflict):
+            db.put({"_id": "new", "_rev": "1-abc", "n": 1})
+
+    def test_get_missing(self, db):
+        with pytest.raises(DocumentNotFound):
+            db.get("nope")
+        assert db.get_or_none("nope") is None
+
+    def test_delete(self, db):
+        outcome = db.put({"_id": "r1", "n": 1})
+        db.delete("r1", outcome["rev"])
+        assert "r1" not in db
+        with pytest.raises(DocumentNotFound):
+            db.get("r1")
+
+    def test_delete_wrong_rev(self, db):
+        db.put({"_id": "r1", "n": 1})
+        with pytest.raises(DocumentConflict):
+            db.delete("r1", "1-bogus")
+
+    def test_recreate_after_delete(self, db):
+        outcome = db.put({"_id": "r1", "n": 1})
+        db.delete("r1", outcome["rev"])
+        db.put({"_id": "r1", "n": 2})
+        assert db.get("r1")["n"] == 2
+
+    def test_len_and_ids(self, db):
+        db.put({"_id": "b", "n": 1})
+        db.put({"_id": "a", "n": 2})
+        assert len(db) == 2
+        assert db.all_doc_ids() == ["a", "b"]
+        assert [d["_id"] for d in db.all_docs()] == ["a", "b"]
+
+    def test_non_json_value_rejected(self, db):
+        with pytest.raises(TypeError):
+            db.put({"_id": "r1", "bad": object()})
+
+
+class TestLabelPersistence:
+    def test_labels_survive_round_trip(self, db):
+        db.put({"_id": "r1", "name": label("alice", PATIENT), "mdt": label("1", MDT)})
+        document = db.get("r1")
+        assert labels_of(document["name"]) == LabelSet([PATIENT])
+        assert labels_of(document["mdt"]) == LabelSet([MDT])
+
+    def test_nested_labels_survive(self, db):
+        db.put({"_id": "r1", "metrics": {"complete": label(37, MDT)}})
+        assert labels_of(db.get("r1")["metrics"]["complete"]) == LabelSet([MDT])
+
+    def test_unlabelled_fields_stay_plain(self, db):
+        db.put({"_id": "r1", "public": "yes", "secret": label("x", PATIENT)})
+        document = db.get("r1")
+        assert labels_of(document["public"]) == LabelSet()
+
+    def test_document_labels_helper(self, db):
+        db.put({"_id": "r1", "a": label("x", PATIENT), "b": label("y", MDT)})
+        assert db.document_labels("r1") == LabelSet([PATIENT, MDT])
+
+    def test_labeled_id_is_stripped_for_storage(self, db):
+        db.put({"_id": label("r1", PATIENT), "n": 1})
+        assert db.get("r1")["_id"] == "r1"
+
+
+class TestViews:
+    def test_define_and_query(self, db):
+        db.define_view("by_mdt", lambda doc: [(doc["mdt"], None)] if "mdt" in doc else [])
+        db.put({"_id": "r1", "mdt": "1"})
+        db.put({"_id": "r2", "mdt": "2"})
+        db.put({"_id": "r3", "mdt": "1"})
+        rows = db.view("by_mdt", key="1")
+        assert sorted(row.doc_id for row in rows) == ["r1", "r3"]
+
+    def test_view_defined_after_documents(self, db):
+        db.put({"_id": "r1", "mdt": "1"})
+        db.define_view("by_mdt", lambda doc: [(doc["mdt"], None)])
+        assert len(db.view("by_mdt")) == 1
+
+    def test_view_updates_on_change(self, db):
+        db.define_view("by_mdt", lambda doc: [(doc["mdt"], None)])
+        outcome = db.put({"_id": "r1", "mdt": "1"})
+        db.put({"_id": "r1", "_rev": outcome["rev"], "mdt": "2"})
+        assert db.view("by_mdt", key="1") == []
+        assert len(db.view("by_mdt", key="2")) == 1
+
+    def test_view_removes_deleted(self, db):
+        db.define_view("by_mdt", lambda doc: [(doc["mdt"], None)])
+        outcome = db.put({"_id": "r1", "mdt": "1"})
+        db.delete("r1", outcome["rev"])
+        assert db.view("by_mdt") == []
+
+    def test_include_docs_relabels(self, db):
+        db.define_view("by_mdt", lambda doc: [(doc["mdt"], None)])
+        db.put({"_id": "r1", "mdt": "1", "name": label("alice", PATIENT)})
+        rows = db.view("by_mdt", key="1", include_docs=True)
+        assert labels_of(rows[0].value["name"]) == LabelSet([PATIENT])
+
+    def test_failing_map_emits_nothing(self, db):
+        db.define_view("fragile", lambda doc: [(doc["required"], None)])
+        db.put({"_id": "r1", "other": 1})
+        assert db.view("fragile") == []
+
+    def test_unknown_view(self, db):
+        with pytest.raises(DocumentNotFound):
+            db.view("nope")
+
+    def test_multi_emission(self, db):
+        db.define_view("tags", lambda doc: [(tag, doc["_id"]) for tag in doc.get("tags", [])])
+        db.put({"_id": "r1", "tags": ["a", "b"]})
+        assert len(db.view("tags")) == 2
+
+
+class TestChangesFeed:
+    def test_sequence_grows(self, db):
+        assert db.update_seq == 0
+        db.put({"_id": "r1", "n": 1})
+        db.put({"_id": "r2", "n": 2})
+        assert db.update_seq == 2
+
+    def test_changes_since(self, db):
+        db.put({"_id": "r1", "n": 1})
+        seq = db.update_seq
+        db.put({"_id": "r2", "n": 2})
+        changes = db.changes(since=seq)
+        assert [c.doc_id for c in changes] == ["r2"]
+
+    def test_changes_deduplicated_to_latest(self, db):
+        outcome = db.put({"_id": "r1", "n": 1})
+        db.put({"_id": "r1", "_rev": outcome["rev"], "n": 2})
+        changes = db.changes()
+        assert len(changes) == 1
+        assert changes[0].rev.startswith("2-")
+
+    def test_deletions_appear(self, db):
+        outcome = db.put({"_id": "r1", "n": 1})
+        db.delete("r1", outcome["rev"])
+        changes = db.changes()
+        assert changes[-1].deleted
+
+
+class TestReadOnly:
+    def test_writes_rejected(self):
+        replica = Database("dmz", read_only=True)
+        with pytest.raises(ReadOnlyError):
+            replica.put({"_id": "r1"})
+        with pytest.raises(ReadOnlyError):
+            replica.delete("r1", "1-x")
+
+    def test_replication_put_still_allowed(self):
+        replica = Database("dmz", read_only=True)
+        replica.replication_put("r1", "1-abc", {"n": 1}, {})
+        assert replica.get("r1")["n"] == 1
+
+
+class TestDocumentStore:
+    def test_create_get(self):
+        store = DocumentStore()
+        db = store.create("app")
+        assert store.get("app") is db
+        assert store.names() == ["app"]
+
+    def test_duplicate_create_rejected(self):
+        store = DocumentStore()
+        store.create("app")
+        with pytest.raises(SafeWebError):
+            store.create("app")
+
+    def test_get_or_create(self):
+        store = DocumentStore()
+        first = store.get_or_create("app")
+        assert store.get_or_create("app") is first
+
+    def test_missing_database(self):
+        with pytest.raises(DocumentNotFound):
+            DocumentStore().get("nope")
+
+    def test_drop(self):
+        store = DocumentStore()
+        store.create("app")
+        store.drop("app")
+        assert store.names() == []

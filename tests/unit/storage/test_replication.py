@@ -1,0 +1,111 @@
+"""Unit tests for push replication (requirement S1)."""
+
+import time
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.exceptions import ReplicationError
+from repro.storage import Database, Replicator, replicate
+from repro.storage.replication import ContinuousReplicator
+from repro.taint import label, labels_of
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+
+
+@pytest.fixture()
+def source() -> Database:
+    return Database("intranet")
+
+
+@pytest.fixture()
+def target() -> Database:
+    return Database("dmz", read_only=True)
+
+
+class TestOneShot:
+    def test_copies_documents(self, source, target):
+        source.put({"_id": "r1", "n": 1})
+        source.put({"_id": "r2", "n": 2})
+        result = replicate(source, target)
+        assert result.docs_written == 2
+        assert target.get("r1")["n"] == 1
+        assert target.get("r2")["n"] == 2
+
+    def test_labels_replicate(self, source, target):
+        source.put({"_id": "r1", "name": label("alice", PATIENT)})
+        replicate(source, target)
+        assert labels_of(target.get("r1")["name"]) == LabelSet([PATIENT])
+
+    def test_revs_preserved(self, source, target):
+        outcome = source.put({"_id": "r1", "n": 1})
+        replicate(source, target)
+        assert target.get("r1")["_rev"] == outcome["rev"]
+
+    def test_deletions_replicate(self, source, target):
+        outcome = source.put({"_id": "r1", "n": 1})
+        replicate(source, target)
+        source.delete("r1", outcome["rev"])
+        result = replicate(source, target)
+        assert result.deletions == 1
+        assert "r1" not in target
+
+    def test_self_replication_rejected(self, source):
+        with pytest.raises(ReplicationError):
+            replicate(source, source)
+
+
+class TestCheckpointing:
+    def test_incremental(self, source, target):
+        replicator = Replicator(source, target)
+        source.put({"_id": "r1", "n": 1})
+        first = replicator.replicate()
+        assert first.docs_written == 1
+        second = replicator.replicate()
+        assert second.docs_written == 0
+        source.put({"_id": "r2", "n": 2})
+        third = replicator.replicate()
+        assert third.docs_written == 1
+        assert replicator.checkpoint == source.update_seq
+
+    def test_update_replicates_once(self, source, target):
+        replicator = Replicator(source, target)
+        outcome = source.put({"_id": "r1", "n": 1})
+        replicator.replicate()
+        source.put({"_id": "r1", "_rev": outcome["rev"], "n": 2})
+        result = replicator.replicate()
+        assert result.docs_written == 1
+        assert target.get("r1")["n"] == 2
+
+    def test_views_on_target_updated(self, source, target):
+        target.define_view("by_mdt", lambda doc: [(doc["mdt"], None)])
+        source.put({"_id": "r1", "mdt": "1"})
+        replicate(source, target)
+        assert len(target.view("by_mdt", key="1")) == 1
+
+
+class TestContinuous:
+    def test_background_replication(self, source, target):
+        replicator = ContinuousReplicator(source, target, interval=0.05)
+        replicator.start()
+        try:
+            source.put({"_id": "r1", "n": 1})
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and "r1" not in target:
+                time.sleep(0.01)
+            assert "r1" in target
+            assert replicator.passes >= 1
+        finally:
+            replicator.stop()
+
+    def test_replicate_now(self, source, target):
+        replicator = ContinuousReplicator(source, target)
+        source.put({"_id": "r1", "n": 1})
+        result = replicator.replicate_now()
+        assert result.docs_written == 1
+        assert "r1" in target
+
+    def test_stop_idempotent(self, source, target):
+        replicator = ContinuousReplicator(source, target).start()
+        replicator.stop()
+        replicator.stop()

@@ -1,0 +1,100 @@
+"""Unit tests for the label-carrying JSON codec."""
+
+import json
+
+from repro.core.labels import LabelSet, conf_label
+from repro.taint import LabeledStr, label, labels_of, mark_user_input
+from repro.taint import json_codec
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+class TestDumps:
+    def test_result_is_labeled_with_content_labels(self):
+        record = {"name": label("alice", PATIENT), "mdt": label("1", MDT)}
+        text = json_codec.dumps(record)
+        assert isinstance(text, LabeledStr)
+        assert labels_of(text) == LabelSet([PATIENT, MDT])
+        assert json.loads(text) == {"name": "alice", "mdt": "1"}
+
+    def test_unlabeled_payload_gives_unlabeled_json(self):
+        assert labels_of(json_codec.dumps({"a": 1})) == LabelSet()
+
+    def test_nested_structures(self):
+        payload = {"rows": [{"v": label(3, PATIENT)}]}
+        assert labels_of(json_codec.dumps(payload)) == LabelSet([PATIENT])
+
+    def test_to_json_alias(self):
+        assert labels_of(json_codec.to_json([label("x", MDT)])) == LabelSet([MDT])
+
+    def test_kwargs_passthrough(self):
+        text = json_codec.dumps({"b": 1, "a": 2}, sort_keys=True)
+        assert text == '{"a": 2, "b": 1}'
+
+
+class TestLoads:
+    def test_labeled_text_labels_every_leaf(self):
+        text = LabeledStr('{"name": "alice", "n": 3}', labels=LabelSet([PATIENT]))
+        decoded = json_codec.loads(text)
+        assert labels_of(decoded["name"]) == LabelSet([PATIENT])
+        assert labels_of(decoded["n"]) == LabelSet([PATIENT])
+
+    def test_plain_text_stays_plain(self):
+        decoded = json_codec.loads('{"a": 1}')
+        assert labels_of(decoded["a"]) == LabelSet()
+
+    def test_taint_propagates_through_decode(self):
+        from repro.taint import is_user_tainted
+
+        decoded = json_codec.loads(mark_user_input('{"q": "x"}'))
+        assert is_user_tainted(decoded["q"])
+
+
+class TestDocumentSidecar:
+    def test_round_trip(self):
+        doc = {
+            "patient": label("alice", PATIENT),
+            "mdt": label("1", MDT),
+            "plain": "public",
+            "nested": {"count": label(3, PATIENT)},
+            "items": [label("x", MDT), "y"],
+        }
+        plain, sidecar = json_codec.encode_document(doc)
+        assert labels_of(plain) == LabelSet()
+        assert json.dumps(plain)  # storable
+        restored = json_codec.decode_document(plain, sidecar)
+        assert labels_of(restored["patient"]) == LabelSet([PATIENT])
+        assert labels_of(restored["mdt"]) == LabelSet([MDT])
+        assert labels_of(restored["plain"]) == LabelSet()
+        assert labels_of(restored["nested"]["count"]) == LabelSet([PATIENT])
+        assert labels_of(restored["items"][0]) == LabelSet([MDT])
+        assert labels_of(restored["items"][1]) == LabelSet()
+
+    def test_sidecar_only_contains_labeled_leaves(self):
+        doc = {"a": "public", "b": label("secret", PATIENT)}
+        _plain, sidecar = json_codec.encode_document(doc)
+        assert list(sidecar) == ["/b"]
+        assert sidecar["/b"] == [PATIENT.uri]
+
+    def test_pointer_escaping(self):
+        doc = {"we/ird~key": label("v", PATIENT)}
+        plain, sidecar = json_codec.encode_document(doc)
+        assert list(sidecar) == ["/we~1ird~0key"]
+        restored = json_codec.decode_document(plain, sidecar)
+        assert labels_of(restored["we/ird~key"]) == LabelSet([PATIENT])
+
+    def test_stale_pointers_ignored(self):
+        restored = json_codec.decode_document({"a": 1}, {"/gone": [PATIENT.uri], "/list/9": [PATIENT.uri]})
+        assert restored == {"a": 1}
+
+    def test_scalar_document(self):
+        plain, sidecar = json_codec.encode_document(label("top", PATIENT))
+        assert plain == "top"
+        assert sidecar == {"": [PATIENT.uri]}
+        restored = json_codec.decode_document(plain, sidecar)
+        assert labels_of(restored) == LabelSet([PATIENT])
+
+    def test_document_labels_helper(self):
+        doc = {"a": label("x", PATIENT), "b": [label(1, MDT)]}
+        assert json_codec.document_labels(doc) == LabelSet([PATIENT, MDT])

@@ -1,0 +1,128 @@
+"""Unit tests for label introspection/wrapping helpers."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label, int_label
+from repro.taint import (
+    LabeledFloat,
+    LabeledInt,
+    LabeledStr,
+    is_labeled,
+    is_user_tainted,
+    label,
+    labels_of,
+    strip_labels,
+    with_labels,
+)
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+TRUSTED = int_label("ecric.org.uk", "mdt")
+
+
+class TestLabelsOf:
+    def test_plain_values_have_no_labels(self):
+        for value in ("x", 1, 1.5, b"x", None, True, [], {}):
+            assert labels_of(value) == LabelSet()
+
+    def test_scalar_labels(self):
+        assert labels_of(label("x", PATIENT)) == LabelSet([PATIENT])
+
+    def test_list_combines(self):
+        values = [label("a", PATIENT), label("b", MDT), "c"]
+        assert labels_of(values).confidentiality == {PATIENT, MDT}
+
+    def test_tuple_and_set(self):
+        assert labels_of((label("a", PATIENT),)) == LabelSet([PATIENT])
+        assert labels_of({label("a", PATIENT)}) == LabelSet([PATIENT])
+
+    def test_dict_combines_keys_and_values(self):
+        data = {label("k", MDT): label("v", PATIENT)}
+        assert labels_of(data).confidentiality == {MDT, PATIENT}
+
+    def test_nested_containers(self):
+        data = {"rows": [{"name": label("alice", PATIENT)}]}
+        assert labels_of(data) == LabelSet([PATIENT])
+
+    def test_container_integrity_is_fragile(self):
+        values = [label("a", TRUSTED), "plain"]
+        assert labels_of(values).integrity == frozenset()
+
+    def test_container_integrity_kept_when_uniform(self):
+        values = [label("a", TRUSTED), label("b", TRUSTED)]
+        assert labels_of(values).integrity == {TRUSTED}
+
+
+class TestWithLabels:
+    def test_wraps_each_scalar_type(self):
+        assert isinstance(with_labels("x", LabelSet([PATIENT])), LabeledStr)
+        assert isinstance(with_labels(1, LabelSet([PATIENT])), LabeledInt)
+        assert isinstance(with_labels(1.5, LabelSet([PATIENT])), LabeledFloat)
+        assert with_labels(b"x", LabelSet([PATIENT])).labels == LabelSet([PATIENT])
+
+    def test_bool_and_none_pass_through(self):
+        assert with_labels(True, LabelSet([PATIENT])) is True
+        assert with_labels(None, LabelSet([PATIENT])) is None
+
+    def test_containers_labeled_leafwise(self):
+        data = with_labels({"n": ["a", 1]}, LabelSet([PATIENT]))
+        assert labels_of(data["n"][0]) == LabelSet([PATIENT])
+        assert labels_of(data["n"][1]) == LabelSet([PATIENT])
+
+    def test_existing_labels_kept_in_containers(self):
+        data = with_labels([label("a", MDT)], LabelSet([PATIENT]))
+        assert labels_of(data[0]) == LabelSet([MDT, PATIENT])
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            with_labels(object(), LabelSet([PATIENT]))
+
+    def test_label_shorthand(self):
+        value = label(label("x", PATIENT), MDT)
+        assert labels_of(value) == LabelSet([PATIENT, MDT])
+
+
+class TestStripLabels:
+    def test_scalars(self):
+        for value, expected_type in [(label("x", PATIENT), str), (label(1, PATIENT), int), (label(1.5, PATIENT), float), (label(b"x", PATIENT), bytes)]:
+            stripped = strip_labels(value)
+            assert type(stripped) is expected_type
+            assert labels_of(stripped) == LabelSet()
+
+    def test_containers(self):
+        data = {"rows": [label("a", PATIENT), label(1, MDT)]}
+        stripped = strip_labels(data)
+        assert labels_of(stripped) == LabelSet()
+        assert stripped == {"rows": ["a", 1]}
+
+    def test_plain_passthrough(self):
+        sentinel = object()
+        assert strip_labels(sentinel) is sentinel
+
+    def test_bool_none(self):
+        assert strip_labels(True) is True
+        assert strip_labels(None) is None
+
+
+class TestIsLabeled:
+    def test_detects_labeled_types(self):
+        assert is_labeled(label("x", PATIENT))
+        assert is_labeled(LabeledInt(1))
+        assert not is_labeled("x")
+        assert not is_labeled([label("x", PATIENT)])  # container is not itself labeled
+
+
+class TestUserTaintIntrospection:
+    def test_scalar(self):
+        from repro.taint import mark_user_input
+
+        assert is_user_tainted(mark_user_input("evil"))
+        assert not is_user_tainted("fine")
+
+    def test_containers(self):
+        from repro.taint import mark_user_input
+
+        assert is_user_tainted([mark_user_input("evil")])
+        assert is_user_tainted({"k": mark_user_input("evil")})
+        assert is_user_tainted({mark_user_input("evil"): "v"})
+        assert not is_user_tainted(["fine"])

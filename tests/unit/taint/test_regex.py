@@ -1,0 +1,118 @@
+"""Unit tests for label-propagating regex (the Rubinius $~ analogue)."""
+
+from repro.core.labels import LabelSet, conf_label
+from repro.taint import LabeledStr, labels_of
+from repro.taint import regex
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+def labeled(text, *labels):
+    return LabeledStr(text, labels=LabelSet(labels))
+
+
+SUBJECT = labeled("patient=alice id=42", PATIENT)
+
+
+class TestMatching:
+    def test_match_groups_are_labeled(self):
+        found = regex.match(r"patient=(\w+)", SUBJECT)
+        assert found is not None
+        assert found.group(1) == "alice"
+        assert labels_of(found.group(1)) == LabelSet([PATIENT])
+
+    def test_group_zero(self):
+        found = regex.search(r"id=(\d+)", SUBJECT)
+        assert labels_of(found.group()) == LabelSet([PATIENT])
+
+    def test_multiple_groups(self):
+        found = regex.match(r"patient=(\w+) id=(\d+)", SUBJECT)
+        name, number = found.group(1, 2)
+        assert labels_of(name) == LabelSet([PATIENT])
+        assert labels_of(number) == LabelSet([PATIENT])
+
+    def test_groups_tuple(self):
+        found = regex.match(r"patient=(\w+) id=(\d+)", SUBJECT)
+        for value in found.groups():
+            assert labels_of(value) == LabelSet([PATIENT])
+
+    def test_groupdict(self):
+        found = regex.match(r"patient=(?P<name>\w+)", SUBJECT)
+        assert labels_of(found.groupdict()["name"]) == LabelSet([PATIENT])
+
+    def test_getitem(self):
+        found = regex.match(r"patient=(\w+)", SUBJECT)
+        assert labels_of(found[1]) == LabelSet([PATIENT])
+
+    def test_no_match_returns_none(self):
+        assert regex.match(r"zzz", SUBJECT) is None
+
+    def test_span_and_positions(self):
+        found = regex.search(r"id=(\d+)", SUBJECT)
+        assert found.start(1) < found.end(1)
+        assert found.span() == (found.start(), found.end())
+
+    def test_fullmatch(self):
+        found = regex.fullmatch(r".*", SUBJECT)
+        assert labels_of(found.group()) == LabelSet([PATIENT])
+
+    def test_labeled_pattern_labels_combine(self):
+        pattern = labeled(r"patient=(\w+)", MDT)
+        found = regex.match(pattern, SUBJECT)
+        assert labels_of(found.group(1)) == LabelSet([PATIENT, MDT])
+
+    def test_expand(self):
+        found = regex.match(r"patient=(\w+)", SUBJECT)
+        assert labels_of(found.expand(r"name:\1")) == LabelSet([PATIENT])
+
+
+class TestBulkOperations:
+    def test_findall(self):
+        values = regex.findall(r"\w+=(\w+)", SUBJECT)
+        assert values == ["alice", "42"]
+        for value in values:
+            assert labels_of(value) == LabelSet([PATIENT])
+
+    def test_finditer(self):
+        for found in regex.finditer(r"(\w+)=", SUBJECT):
+            assert labels_of(found.group(1)) == LabelSet([PATIENT])
+
+    def test_split(self):
+        for part in regex.split(r"\s+", SUBJECT):
+            assert labels_of(part) == LabelSet([PATIENT])
+
+    def test_sub_with_string_replacement(self):
+        result = regex.sub(r"alice", labeled("bob", MDT), SUBJECT)
+        assert "bob" in result
+        assert labels_of(result) == LabelSet([PATIENT, MDT])
+
+    def test_sub_with_callable(self):
+        def redact(match):
+            assert labels_of(match.group()) == LabelSet([PATIENT])
+            return "***"
+
+        result = regex.sub(r"alice", redact, SUBJECT)
+        assert "***" in result
+        assert labels_of(result) == LabelSet([PATIENT])
+
+    def test_subn_count(self):
+        result, count = regex.subn(r"\d", "#", SUBJECT)
+        assert count == 2
+        assert labels_of(result) == LabelSet([PATIENT])
+
+
+class TestCompiled:
+    def test_compiled_pattern_reuse(self):
+        pattern = regex.compile(r"id=(\d+)")
+        assert labels_of(pattern.search(SUBJECT).group(1)) == LabelSet([PATIENT])
+        assert pattern.groupindex == {}
+        assert pattern.pattern == r"id=(\d+)"
+
+    def test_flags(self):
+        pattern = regex.compile(r"PATIENT", regex.IGNORECASE)
+        assert pattern.search(SUBJECT) is not None
+
+    def test_compile_of_compiled(self):
+        pattern = regex.compile(regex.compile(r"x"))
+        assert pattern.pattern == "x"

@@ -1,0 +1,91 @@
+"""Unit tests for the user-input taint / sanitisation mechanism."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.taint import (
+    is_user_tainted,
+    labels_of,
+    mark_user_input,
+    html_escape,
+    require_sanitized,
+    sql_quote,
+    SanitisationError,
+)
+from repro.taint.sanitize import endorse_user_input
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+
+
+class TestMarkAndRequire:
+    def test_mark(self):
+        assert is_user_tainted(mark_user_input("x"))
+
+    def test_mark_container(self):
+        data = mark_user_input({"q": "x"})
+        assert is_user_tainted(data["q"])
+
+    def test_mark_preserves_labels(self):
+        from repro.taint import label
+
+        value = mark_user_input(label("x", PATIENT))
+        assert labels_of(value) == LabelSet([PATIENT])
+        assert is_user_tainted(value)
+
+    def test_require_sanitized_accepts_clean(self):
+        assert require_sanitized("fine") == "fine"
+
+    def test_require_sanitized_rejects_tainted(self):
+        with pytest.raises(SanitisationError):
+            require_sanitized(mark_user_input("evil"), context="SQL query")
+
+    def test_require_sanitized_rejects_tainted_inside_container(self):
+        with pytest.raises(SanitisationError):
+            require_sanitized(["ok", mark_user_input("evil")])
+
+    def test_endorse(self):
+        value = endorse_user_input(mark_user_input("verified"))
+        assert not is_user_tainted(value)
+
+
+class TestHtmlEscape:
+    def test_escapes_metacharacters(self):
+        escaped = html_escape(mark_user_input('<script>alert("x&y")</script>'))
+        assert escaped == "&lt;script&gt;alert(&quot;x&amp;y&quot;)&lt;/script&gt;"
+
+    def test_clears_taint(self):
+        assert not is_user_tainted(html_escape(mark_user_input("<b>")))
+
+    def test_preserves_labels(self):
+        from repro.taint import label
+
+        escaped = html_escape(mark_user_input(label("<b>", PATIENT)))
+        assert labels_of(escaped) == LabelSet([PATIENT])
+
+    def test_escapes_single_quotes(self):
+        assert html_escape("it's") == "it&#39;s"
+
+    def test_plain_input_accepted(self):
+        assert html_escape(42) == "42"
+
+    def test_xss_payload_neutralised_then_passes_sink(self):
+        payload = mark_user_input("<img onerror=steal()>")
+        safe = html_escape(payload)
+        assert require_sanitized(safe) == safe
+
+
+class TestSqlQuote:
+    def test_quotes_and_doubles(self):
+        assert sql_quote(mark_user_input("O'Brien")) == "'O''Brien'"
+
+    def test_clears_taint(self):
+        assert not is_user_tainted(sql_quote(mark_user_input("x")))
+
+    def test_classic_injection_neutralised(self):
+        quoted = sql_quote(mark_user_input("'; DROP TABLE users; --"))
+        assert quoted == "'''; DROP TABLE users; --'"
+
+    def test_preserves_labels(self):
+        from repro.taint import label
+
+        assert labels_of(sql_quote(label("x", PATIENT))) == LabelSet([PATIENT])

@@ -1,0 +1,187 @@
+"""Unit tests for cookie sessions and CSRF protection."""
+
+import pytest
+
+from repro.core.audit import AuditLog
+from repro.core.labels import conf_label
+from repro.core.privileges import CLEARANCE
+from repro.storage import WebDatabase
+from repro.taint import label
+from repro.web import SafeWebApp, SafeWebMiddleware, TestClient
+from repro.web.auth import BasicAuthenticator
+from repro.web.sessions import (
+    CSRF_FIELD,
+    CSRF_HEADER,
+    SESSION_COOKIE,
+    SessionMiddleware,
+    csrf_token_for,
+    parse_cookies,
+)
+
+MDT_1 = conf_label("ecric.org.uk", "mdt", "1")
+
+
+@pytest.fixture()
+def webdb():
+    database = WebDatabase(password_iterations=1_000)
+    user_id = database.add_user("mdt1", "secret1", mdt="1")
+    database.grant_label_privilege(user_id, CLEARANCE, MDT_1.uri)
+    yield database
+    database.close()
+
+
+@pytest.fixture()
+def app(webdb):
+    application = SafeWebApp()
+    audit = AuditLog()
+    safeweb = SafeWebMiddleware(
+        BasicAuthenticator(webdb), audit=audit, public_paths={"/login"}
+    )
+    sessions = SessionMiddleware(webdb, safeweb, audit=audit)
+    sessions.install(application)  # session resolution first
+    safeweb.install(application)
+
+    @application.get("/whoami")
+    def whoami(request):
+        return request.user.name
+
+    @application.get("/secret")
+    def secret(request):
+        return label("mdt1 data", MDT_1)
+
+    @application.post("/change")
+    def change(request):
+        return "changed"
+
+    return application
+
+
+def login(client, username="mdt1", password="secret1"):
+    result = client.post(
+        "/login",
+        headers={"Content-Type": "application/x-www-form-urlencoded"},
+        body=f"username={username}&password={password}",
+    )
+    assert result.status == 201
+    cookie = parse_cookies(result.headers["Set-Cookie"])[SESSION_COOKIE]
+    return cookie, result.text  # (session token, csrf token)
+
+
+class TestParseCookies:
+    def test_basic(self):
+        assert parse_cookies("a=1; b=2") == {"a": "1", "b": "2"}
+
+    def test_none_and_garbage(self):
+        assert parse_cookies(None) == {}
+        assert parse_cookies("novalue") == {}
+
+
+class TestLogin:
+    def test_login_sets_cookie_and_returns_csrf(self, app):
+        client = TestClient(app)
+        token, csrf = login(client)
+        assert token
+        assert csrf == csrf_token_for(token)
+
+    def test_bad_credentials_401(self, app):
+        result = TestClient(app).post(
+            "/login",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+            body="username=mdt1&password=wrong",
+        )
+        assert result.status == 401
+
+    def test_session_authenticates_requests(self, app):
+        client = TestClient(app)
+        token, _csrf = login(client)
+        result = client.get("/whoami", headers={"Cookie": f"{SESSION_COOKIE}={token}"})
+        assert result.ok
+        assert result.text == "mdt1"
+
+    def test_label_check_still_applies_to_sessions(self, app, webdb):
+        client = TestClient(app)
+        # A second user without clearance for MDT 1.
+        webdb.add_user("intruder", "pw")
+        token, _csrf = login(client, "intruder", "pw")
+        result = client.get("/secret", headers={"Cookie": f"{SESSION_COOKIE}={token}"})
+        assert result.status == 403
+
+    def test_cleared_session_can_read(self, app):
+        client = TestClient(app)
+        token, _csrf = login(client)
+        result = client.get("/secret", headers={"Cookie": f"{SESSION_COOKIE}={token}"})
+        assert result.ok
+
+    def test_unknown_cookie_falls_back_to_basic_auth_requirement(self, app):
+        result = TestClient(app).get(
+            "/whoami", headers={"Cookie": f"{SESSION_COOKIE}=bogus"}
+        )
+        assert result.status == 401
+
+    def test_basic_auth_still_works(self, app):
+        result = TestClient(app).get("/whoami", auth=("mdt1", "secret1"))
+        assert result.ok
+
+    def test_logout_invalidates(self, app, webdb):
+        client = TestClient(app)
+        token, csrf = login(client)
+        result = client.post(
+            "/logout",
+            headers={
+                "Cookie": f"{SESSION_COOKIE}={token}",
+                CSRF_HEADER: csrf,
+            },
+        )
+        assert result.status == 204
+        result = client.get("/whoami", headers={"Cookie": f"{SESSION_COOKIE}={token}"})
+        assert result.status == 401
+
+
+class TestCsrf:
+    def test_post_without_token_rejected(self, app):
+        client = TestClient(app)
+        token, _csrf = login(client)
+        result = client.post("/change", headers={"Cookie": f"{SESSION_COOKIE}={token}"})
+        assert result.status == 403
+        assert "CSRF" in result.text
+
+    def test_post_with_header_token_accepted(self, app):
+        client = TestClient(app)
+        token, csrf = login(client)
+        result = client.post(
+            "/change",
+            headers={"Cookie": f"{SESSION_COOKIE}={token}", CSRF_HEADER: csrf},
+        )
+        assert result.ok
+
+    def test_post_with_form_token_accepted(self, app):
+        client = TestClient(app)
+        token, csrf = login(client)
+        result = client.post(
+            "/change",
+            headers={
+                "Cookie": f"{SESSION_COOKIE}={token}",
+                "Content-Type": "application/x-www-form-urlencoded",
+            },
+            body=f"{CSRF_FIELD}={csrf}",
+        )
+        assert result.ok
+
+    def test_wrong_token_rejected(self, app):
+        client = TestClient(app)
+        token, _csrf = login(client)
+        result = client.post(
+            "/change",
+            headers={"Cookie": f"{SESSION_COOKIE}={token}", CSRF_HEADER: "forged"},
+        )
+        assert result.status == 403
+
+    def test_basic_auth_posts_are_csrf_immune(self, app):
+        result = TestClient(app).post("/change", auth=("mdt1", "secret1"))
+        assert result.ok
+
+    def test_get_requests_never_need_token(self, app):
+        client = TestClient(app)
+        token, _csrf = login(client)
+        result = client.get("/whoami", headers={"Cookie": f"{SESSION_COOKIE}={token}"})
+        assert result.ok

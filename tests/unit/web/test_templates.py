@@ -1,0 +1,148 @@
+"""Unit tests for the ERB-like label-propagating template engine."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label
+from repro.taint import LabeledStr, label, labels_of, mark_user_input
+from repro.taint.labeled import is_user_tainted
+from repro.web.templates import Template, TemplateError, render
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+
+
+class TestBasicRendering:
+    def test_plain_text(self):
+        assert render("hello") == "hello"
+
+    def test_expression(self):
+        assert render("hello <%= name %>", name="alice") == "hello alice"
+
+    def test_multiple_expressions(self):
+        out = render("<%= a %> + <%= b %> = <%= a + b %>", a=2, b=3)
+        assert out == "2 + 3 = 5"
+
+    def test_comments_vanish(self):
+        assert render("a<%# hidden %>b") == "ab"
+
+    def test_statements(self):
+        assert render("<% x = 2 %><%= x * 2 %>") == "4"
+
+    def test_empty_template(self):
+        assert render("") == ""
+
+    def test_kwargs_and_context_dict(self):
+        assert render("<%= a %><%= b %>", {"a": 1}, b=2) == "12"
+
+
+class TestControlFlow:
+    def test_if_end(self):
+        template = Template("<% if flag %>yes<% end %>")
+        assert template.render(flag=True) == "yes"
+        assert template.render(flag=False) == ""
+
+    def test_if_else(self):
+        template = Template("<% if flag %>yes<% else %>no<% end %>")
+        assert template.render(flag=False) == "no"
+
+    def test_if_elif_else(self):
+        template = Template(
+            "<% if n == 1 %>one<% elif n == 2 %>two<% else %>many<% end %>"
+        )
+        assert template.render(n=1) == "one"
+        assert template.render(n=2) == "two"
+        assert template.render(n=9) == "many"
+
+    def test_for_loop(self):
+        out = render("<% for item in items %><li><%= item %></li><% end %>", items=["a", "b"])
+        assert out == "<li>a</li><li>b</li>"
+
+    def test_nested_blocks(self):
+        source = (
+            "<% for row in rows %><% if row %>[<%= row %>]<% end %><% end %>"
+        )
+        assert render(source, rows=["a", "", "b"]) == "[a][b]"
+
+    def test_while(self):
+        assert render("<% n = 3 %><% while n > 0 %>.<% n -= 1 %><% end %>") == "..."
+
+    def test_unbalanced_end_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("<% end %>")
+
+    def test_unclosed_block_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("<% if x %>open")
+
+    def test_orphan_else_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("<% else %>x<% end %>")
+
+
+class TestLabelPropagation:
+    """§4.4: the rendered page carries every interpolated value's labels."""
+
+    def test_labeled_value_labels_page(self):
+        out = render("name: <%= name %>", name=label("alice", PATIENT))
+        assert isinstance(out, LabeledStr)
+        assert labels_of(out) == LabelSet([PATIENT])
+
+    def test_multiple_labels_union(self):
+        out = render(
+            "<%= a %>/<%= b %>", a=label("x", PATIENT), b=label("y", MDT)
+        )
+        assert labels_of(out) == LabelSet([PATIENT, MDT])
+
+    def test_loop_over_labeled_values(self):
+        rows = [label("a", PATIENT), label("b", MDT)]
+        out = render("<% for row in rows %><%= row %><% end %>", rows=rows)
+        assert labels_of(out) == LabelSet([PATIENT, MDT])
+
+    def test_unlabeled_render_is_unlabeled(self):
+        assert labels_of(render("plain <%= x %>", x="text")) == LabelSet()
+
+    def test_labels_flow_through_expressions(self):
+        out = render("<%= count * 2 %>", count=label(21, MDT))
+        assert out == "42"
+        assert labels_of(out) == LabelSet([MDT])
+
+
+class TestEscaping:
+    def test_auto_escape(self):
+        out = render("<%= payload %>", payload="<script>x</script>")
+        assert out == "&lt;script&gt;x&lt;/script&gt;"
+
+    def test_escaping_clears_taint(self):
+        out = render("<%= payload %>", payload=mark_user_input("<b>"))
+        assert not is_user_tainted(out)
+        assert out == "&lt;b&gt;"
+
+    def test_raw_keeps_markup_and_taint(self):
+        payload = mark_user_input("<b>bold</b>")
+        out = render("<%== payload %>", payload=payload)
+        assert out == "<b>bold</b>"
+        assert is_user_tainted(out)
+
+    def test_auto_escape_off(self):
+        template = Template("<%= markup %>", auto_escape=False)
+        assert template.render(markup="<i>x</i>") == "<i>x</i>"
+
+    def test_escape_helper_available(self):
+        out = render("<%== escape(payload) %>", payload="<b>")
+        assert out == "&lt;b&gt;"
+
+
+class TestErrors:
+    def test_runtime_error_wrapped(self):
+        with pytest.raises(TemplateError):
+            render("<%= missing_name %>")
+
+    def test_error_message_includes_template_name(self):
+        template = Template("<%= nope %>", name="front-page")
+        with pytest.raises(TemplateError, match="front-page"):
+            template.render()
+
+    def test_compile_is_cached_across_renders(self):
+        template = Template("<%= n %>")
+        assert template.render(n=1) == "1"
+        assert template.render(n=2) == "2"
