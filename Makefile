@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-unit bench-smoke bench-broker bench
+
+## Tier-1: the full suite (unit + property + integration + benchmark smoke).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Fast feedback: unit and property tests only.
+test-unit:
+	$(PYTHON) -m pytest tests/unit tests/property -q
+
+## Quick benchmark smoke: the broker ablation and throughput experiments.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/test_a1_broker_matching.py benchmarks/test_e4_throughput.py -q
+
+## Broker perf snapshot: appends A1/E4 results to BENCH_broker.json.
+bench-broker:
+	$(PYTHON) scripts/bench_broker.py
+
+## The full paper benchmark suite (slow).
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Broker perf snapshot: A1 matching latency + E4 throughput → JSON.
+
+Runs the broker-focused measurements outside pytest and appends one
+entry to ``BENCH_broker.json`` in the repo root, so successive PRs have
+a perf trajectory to compare against:
+
+    python scripts/bench_broker.py            # full run
+    python scripts/bench_broker.py --quick    # smaller E4 event count
+
+Each entry records the git revision, per-variant A1 mean/median µs per
+publish (50 subscribers, like ``benchmarks/test_a1_broker_matching.py``)
+and E4 events/second with and without label tracking, plus the broker's
+fast-path counters so wins stay attributable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.throughput import measure_throughput  # noqa: E402
+from repro.bench.timing import measure_latency  # noqa: E402
+from repro.core.audit import AuditLog  # noqa: E402
+from repro.core.privileges import PrivilegeSet  # noqa: E402
+from repro.events.broker import Broker  # noqa: E402
+from repro.events.event import Event  # noqa: E402
+from repro.mdt.labels import mdt_label, mdt_label_root  # noqa: E402
+
+SUBSCRIBERS = 50
+RESULTS_PATH = REPO_ROOT / "BENCH_broker.json"
+
+
+def _broker(label_checks: bool, selector=None, clearance=None) -> Broker:
+    broker = Broker(label_checks=label_checks, audit=AuditLog(capacity=16))
+    for _ in range(SUBSCRIBERS):
+        broker.subscribe(
+            "/bench/topic", lambda event: None, clearance=clearance, selector=selector
+        )
+    return broker
+
+
+def measure_a1(iterations: int) -> dict:
+    labeled = Event(
+        "/bench/topic", {"type": "cancer", "stage": "2"}, labels=[mdt_label("1")]
+    )
+    plain = Event("/bench/topic", {"type": "cancer", "stage": "2"})
+    cleared = PrivilegeSet({"clearance": [mdt_label_root()]})
+    variants = {
+        "topic_only": (_broker(label_checks=False), plain),
+        "topic_selector": (
+            _broker(label_checks=False, selector="type = 'cancer' AND stage > 1"),
+            plain,
+        ),
+        "label_pass": (_broker(label_checks=True, clearance=cleared), labeled),
+        "label_deny": (_broker(label_checks=True), labeled),
+    }
+    results = {}
+    for name, (broker, event) in variants.items():
+        stats = measure_latency(
+            lambda b=broker, e=event: b.publish(e), iterations=iterations
+        )
+        results[name] = {
+            "mean_us": round(stats.mean * 1e6, 3),
+            "median_us": round(stats.median * 1e6, 3),
+            "p95_us": round(stats.percentile(0.95) * 1e6, 3),
+            "broker_counters": broker.stats.snapshot(),
+        }
+    return results
+
+
+def measure_e4(events: int) -> dict:
+    baseline = measure_throughput(
+        events=events, label_checks=False, isolation=False, labelled_events=False
+    )
+    protected = measure_throughput(events=events)
+    drop = 0.0
+    if baseline.events_per_second:
+        drop = (
+            (baseline.events_per_second - protected.events_per_second)
+            / baseline.events_per_second
+            * 100.0
+        )
+    return {
+        "events": events,
+        "baseline_eps": round(baseline.events_per_second, 1),
+        "protected_eps": round(protected.events_per_second, 1),
+        "drop_percent": round(drop, 2),
+    }
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller event counts for a smoke run"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="result file to append to"
+    )
+    args = parser.parse_args()
+
+    iterations = 200 if args.quick else 400
+    e4_events = 5_000 if args.quick else 20_000
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "revision": git_revision(),
+        "subscribers": SUBSCRIBERS,
+        "a1_us_per_publish": measure_a1(iterations),
+        "e4_throughput": measure_e4(e4_events),
+    }
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    print(f"\nappended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

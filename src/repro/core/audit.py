@@ -16,8 +16,9 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.labels import LabelSet
 
@@ -54,20 +55,49 @@ class AuditRecord:
         }
 
 
+#: Deferred decisions: (component, operation, principal, decision,
+#: labels-or-None, detail, timestamp). Formatting into AuditRecord
+#: happens at flush time, off the enforcement hot path.
+_PendingEntry = Tuple[str, str, str, str, Optional[LabelSet], str, float]
+
+
 class AuditLog:
     """A bounded, thread-safe, in-memory audit log.
 
     ``capacity`` bounds memory for long-running deployments; the oldest
     records are discarded first, while the per-decision counters keep
     exact totals forever.
+
+    Hot paths (the broker's per-delivery decisions) record through
+    :meth:`note`, which — in the default *buffered* mode — appends a raw
+    tuple to a ring buffer and defers :class:`AuditRecord` construction,
+    locking and counter updates to :meth:`flush`. Every query flushes
+    first, so observers always see a complete, exact log; the only
+    difference from eager mode is *when* the formatting cost is paid.
+    With ``buffered=False``, :meth:`note` records eagerly, for
+    deployments that need each record materialised before the next
+    operation proceeds.
     """
 
-    def __init__(self, capacity: int = 10_000, clock: Callable[[], float] = time.time):
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        clock: Callable[[], float] = time.time,
+        buffered: bool = True,
+    ):
         self._lock = threading.Lock()
         self._records: List[AuditRecord] = []
         self._capacity = capacity
         self._clock = clock
         self._counters: Dict[tuple, int] = {}
+        self._buffered = buffered
+        self._pending: Deque[_PendingEntry] = deque()
+        #: Flush when this many decisions are pending, so the buffer is a
+        #: bounded ring even if no one queries the log for a long time.
+        #: Deliberately larger than small capacities: a flush only
+        #: materialises the last ``capacity`` entries (older ones would
+        #: be evicted immediately), so a big batch amortises formatting.
+        self._flush_threshold = max(256, min(capacity, 4096))
 
     def record(
         self,
@@ -78,6 +108,10 @@ class AuditLog:
         labels: Optional[LabelSet] = None,
         detail: str = "",
     ) -> AuditRecord:
+        # Materialise any deferred notes first so the record list keeps
+        # its chronological order when eager and deferred callers share
+        # one log.
+        self.flush()
         entry = AuditRecord(
             record_id=next(_record_ids),
             timestamp=self._clock(),
@@ -102,6 +136,81 @@ class AuditLog:
     def denied(self, component: str, operation: str, principal: str, **kwargs) -> AuditRecord:
         return self.record(component, operation, principal, DENIED, **kwargs)
 
+    # -- deferred recording (hot paths) -----------------------------------
+
+    def note(
+        self,
+        component: str,
+        operation: str,
+        principal: str,
+        decision: str,
+        labels: Optional[LabelSet] = None,
+        detail: str = "",
+    ) -> None:
+        """Record a decision without materialising the record yet.
+
+        Identical observable content to :meth:`record` — the entry
+        appears in :meth:`records` / :meth:`count` after the implicit
+        flush every query performs — but the hot path pays only a
+        timestamp and a lock-free ring append.
+        """
+        if not self._buffered:
+            self.record(component, operation, principal, decision, labels, detail)
+            return
+        self._pending.append(
+            (component, operation, principal, decision, labels, detail, self._clock())
+        )
+        if len(self._pending) >= self._flush_threshold:
+            self.flush()
+
+    def flush(self) -> int:
+        """Materialise pending :meth:`note` entries; returns how many.
+
+        Counters are updated for *every* pending decision (totals stay
+        exact), but :class:`AuditRecord` objects are only built for the
+        newest ``capacity`` entries — anything older would be evicted by
+        the ring bound the moment it was appended.
+        """
+        pending = self._pending
+        if not pending:
+            return 0
+        with self._lock:
+            # Drain under the lock: concurrent flushes must not partition
+            # the pending entries, or records would interleave out of
+            # order and the ring trim could evict the wrong batch.
+            drained: List[_PendingEntry] = []
+            for _ in range(len(pending)):
+                try:
+                    drained.append(pending.popleft())
+                except IndexError:
+                    break
+            if not drained:
+                return 0
+            counters = self._counters
+            for entry in drained:
+                key = (entry[0], entry[1], entry[3])
+                counters[key] = counters.get(key, 0) + 1
+            records = self._records
+            keep_from = max(0, len(drained) - self._capacity)
+            for component, operation, principal, decision, labels, detail, when in drained[
+                keep_from:
+            ]:
+                records.append(
+                    AuditRecord(
+                        record_id=next(_record_ids),
+                        timestamp=when,
+                        component=component,
+                        operation=operation,
+                        principal=principal,
+                        decision=decision,
+                        labels=labels or LabelSet(),
+                        detail=detail,
+                    )
+                )
+            if len(records) > self._capacity:
+                del records[: len(records) - self._capacity]
+        return len(drained)
+
     # -- queries ---------------------------------------------------------
 
     def records(
@@ -110,6 +219,7 @@ class AuditLog:
         decision: Optional[str] = None,
         principal: Optional[str] = None,
     ) -> List[AuditRecord]:
+        self.flush()
         with self._lock:
             snapshot = list(self._records)
         return [
@@ -129,6 +239,7 @@ class AuditLog:
         operation: Optional[str] = None,
         decision: Optional[str] = None,
     ) -> int:
+        self.flush()
         with self._lock:
             return sum(
                 value
@@ -140,10 +251,12 @@ class AuditLog:
 
     def clear(self) -> None:
         with self._lock:
+            self._pending.clear()
             self._records.clear()
             self._counters.clear()
 
     def __len__(self) -> int:
+        self.flush()
         with self._lock:
             return len(self._records)
 

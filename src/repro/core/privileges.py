@@ -17,10 +17,21 @@ policy files short while enforcement still compares concrete labels.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, FrozenSet, Iterable, Mapping
 
 from repro.core.labels import Label, LabelSet, parse_label
 from repro.exceptions import PolicyError
+
+#: Monotonic id source for :attr:`PrivilegeSet.generation`. Privilege
+#: sets are immutable, so a *generation* identifies one fixed grant
+#: table: any cache keyed by ``(labelset, generation)`` stays valid for
+#: ever, and grant/revoke invalidate it simply by producing a new
+#: instance with a new generation.
+_generations = itertools.count(1)
+
+#: Bound for the per-instance clearance decision cache.
+_COVER_CACHE_LIMIT = 1024
 
 #: Privilege kind: read data carrying a confidentiality label.
 CLEARANCE = "clearance"
@@ -88,7 +99,7 @@ class PrivilegeSet:
     backend and frontend, so both have dedicated helpers here.
     """
 
-    __slots__ = ("_grants",)
+    __slots__ = ("_grants", "_generation", "_cover_cache")
 
     def __init__(self, grants: Mapping[str, Iterable[Label | str]] | None = None):
         normalised: Dict[str, FrozenSet[Label]] = {kind: frozenset() for kind in PRIVILEGE_KINDS}
@@ -100,6 +111,18 @@ class PrivilegeSet:
             )
             normalised[kind] = coerced
         self._grants = normalised
+        self._generation = next(_generations)
+        self._cover_cache: Dict[LabelSet, bool] = {}
+
+    @property
+    def generation(self) -> int:
+        """A unique id for this (immutable) grant table.
+
+        Clearance decisions are pure functions of ``(labels, generation)``,
+        so enforcement caches key on the generation and are invalidated
+        by :meth:`grant`/:meth:`revoke` producing a new instance.
+        """
+        return self._generation
 
     # -- construction ------------------------------------------------------
 
@@ -130,6 +153,39 @@ class PrivilegeSet:
         """
         kinds = set(kinds)
         return PrivilegeSet({kind: self._grants[kind] for kind in kinds})
+
+    def grant(self, kind: str, *labels: Label | str) -> "PrivilegeSet":
+        """A copy additionally holding *kind* over each of *labels*.
+
+        Returns a new instance (with a fresh :attr:`generation`) so every
+        memoized clearance decision derived from the old table is
+        invalidated rather than mutated.
+        """
+        if kind not in PRIVILEGE_KINDS:
+            raise PolicyError(f"unknown privilege kind {kind!r}")
+        added = frozenset(
+            parse_label(label) if isinstance(label, str) else label for label in labels
+        )
+        grants = dict(self._grants)
+        grants[kind] = grants[kind] | added
+        return PrivilegeSet(grants)
+
+    def revoke(self, kind: str, *labels: Label | str) -> "PrivilegeSet":
+        """A copy without the exact grants (*kind*, label) for *labels*.
+
+        Like :meth:`grant` this produces a new generation, so stale
+        cached decisions cannot outlive the revocation. Only exact grant
+        labels are removed; use :meth:`without_clearance_for` to strip
+        hierarchical ancestors covering a label.
+        """
+        if kind not in PRIVILEGE_KINDS:
+            raise PolicyError(f"unknown privilege kind {kind!r}")
+        removed = frozenset(
+            parse_label(label) if isinstance(label, str) else label for label in labels
+        )
+        grants = dict(self._grants)
+        grants[kind] = grants[kind] - removed
+        return PrivilegeSet(grants)
 
     def without_clearance_for(self, labels: Iterable[Label | str]) -> "PrivilegeSet":
         """A copy whose clearance no longer covers any of *labels*.
@@ -163,10 +219,23 @@ class PrivilegeSet:
         return any(grant.is_ancestor_of(label) for grant in self.labels_for(kind))
 
     def clearance_covers(self, labels: LabelSet | Iterable[Label]) -> bool:
-        """True when every confidentiality label in *labels* is readable."""
+        """True when every confidentiality label in *labels* is readable.
+
+        Decisions are memoized per label set: the broker sees the same
+        few label sets millions of times, and since this instance is
+        immutable a cached decision never goes stale.
+        """
         if not isinstance(labels, LabelSet):
             labels = LabelSet(labels)
-        return all(self.grants(CLEARANCE, label) for label in labels.confidentiality)
+        cache = self._cover_cache
+        cached = cache.get(labels)
+        if cached is not None:
+            return cached
+        decision = all(self.grants(CLEARANCE, label) for label in labels.confidentiality)
+        if len(cache) >= _COVER_CACHE_LIMIT:
+            cache.clear()
+        cache[labels] = decision
+        return decision
 
     def can_declassify(self, labels: LabelSet | Iterable[Label]) -> bool:
         """True when every confidentiality label in *labels* may be removed."""

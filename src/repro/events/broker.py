@@ -13,6 +13,27 @@ so multiple subscriptions from one unit are tracked independently.
 
 Topic patterns support exact segments, ``*`` (one segment) and a trailing
 ``#`` (any remaining segments), e.g. ``/mdt/*/report`` or ``/patient/#``.
+
+Delivery fast path
+------------------
+
+Publish cost is kept independent of the number of subscriptions through
+four layers, none of which weakens a check:
+
+1. candidate subscriptions come from a segment trie
+   (:class:`~repro.events.index.TopicTrie`) instead of a linear scan —
+   :func:`match_topic` remains as the reference matcher and the property
+   suite proves the trie equivalent to it;
+2. resolved candidate lists are cached per concrete topic and
+   invalidated on any subscribe/unsubscribe;
+3. selector evaluation uses compiled closures, and identical selector
+   objects (shared via the parse cache) are evaluated once per publish;
+4. clearance decisions are memoized per ``(labels, privilege
+   generation)`` and audit records are deferred through
+   :meth:`~repro.core.audit.AuditLog.note`.
+
+:class:`BrokerStats` exposes ``index_hits`` / ``route_cache_hits`` /
+``scans`` so benchmarks (A1/E4) can attribute wins to each layer.
 """
 
 from __future__ import annotations
@@ -21,20 +42,33 @@ import itertools
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.audit import AuditLog, default_audit_log
+from repro.core.audit import ALLOWED, DENIED, AuditLog, default_audit_log
 from repro.core.labels import LabelSet
 from repro.core.privileges import PrivilegeSet
 from repro.events.event import Event
+from repro.events.index import TopicTrie
 from repro.events.selector import Selector, parse_selector
 from repro.exceptions import SafeWebError
 
 _subscription_ids = itertools.count(1)
+_subscription_seq = itertools.count(1)
+
+#: Bound on the topic → candidate-list cache; publishes to more distinct
+#: topics than this simply rebuild entries from the trie.
+_ROUTE_CACHE_LIMIT = 4096
+
+#: Bound on the per-subscription clearance decision cache.
+_DECISION_CACHE_LIMIT = 1024
 
 
 def match_topic(pattern: str, topic: str) -> bool:
-    """Match a subscription pattern against an event topic."""
+    """Match a subscription pattern against an event topic.
+
+    This is the reference implementation the trie index is proven
+    equivalent to; the delivery path itself no longer calls it.
+    """
     if pattern == topic:
         return True
     pattern_parts = pattern.strip("/").split("/")
@@ -51,7 +85,7 @@ def match_topic(pattern: str, topic: str) -> bool:
     return len(pattern_parts) == len(topic_parts)
 
 
-@dataclass
+@dataclass(slots=True)
 class Subscription:
     """A registered subscription with its security context."""
 
@@ -63,6 +97,24 @@ class Subscription:
     selector: Optional[Selector] = None
     require_integrity: LabelSet = field(default_factory=LabelSet)
     active: bool = True
+    #: Pre-split topic segments, computed once at subscribe time.
+    segments: Tuple[str, ...] = field(init=False, repr=False, compare=False, default=())
+    #: Registration order; delivery iterates subscriptions in this order.
+    seq: int = field(init=False, repr=False, compare=False, default=0)
+    #: Memoized §4.2 decisions keyed by event label set, valid for one
+    #: clearance generation.
+    _decision_cache: Dict[LabelSet, bool] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    _cache_generation: int = field(init=False, repr=False, compare=False, default=-1)
+    #: The denial detail is subscription-constant; format it once instead
+    #: of per filtered event.
+    _denial_detail: str = field(init=False, repr=False, compare=False, default="")
+
+    def __post_init__(self) -> None:
+        self.segments = tuple(self.topic.strip("/").split("/"))
+        self.seq = next(_subscription_seq)
+        self._denial_detail = f"subscription {self.subscription_id} lacks clearance"
 
     def wants(self, event: Event) -> bool:
         """Topic + selector match (no security decision here)."""
@@ -73,10 +125,25 @@ class Subscription:
         return True
 
     def cleared_for(self, event: Event) -> bool:
-        """The §4.2 label check."""
-        if not self.clearance.clearance_covers(event.labels):
+        """The §4.2 label check, memoized per (labels, clearance generation)."""
+        labels = event.labels
+        generation = self.clearance.generation
+        if generation != self._cache_generation:
+            self._decision_cache.clear()
+            self._cache_generation = generation
+        cache = self._decision_cache
+        decision = cache.get(labels)
+        if decision is None:
+            decision = self._evaluate_clearance(labels)
+            if len(cache) >= _DECISION_CACHE_LIMIT:
+                cache.clear()
+            cache[labels] = decision
+        return decision
+
+    def _evaluate_clearance(self, labels: LabelSet) -> bool:
+        if not self.clearance.clearance_covers(labels):
             return False
-        if self.require_integrity and not event.labels.meets_integrity(self.require_integrity):
+        if self.require_integrity and not labels.meets_integrity(self.require_integrity):
             return False
         return True
 
@@ -84,7 +151,17 @@ class Subscription:
 class BrokerStats:
     """Counters used by the throughput benchmarks (E4, A1)."""
 
-    __slots__ = ("published", "delivered", "label_filtered", "selector_filtered", "errors")
+    __slots__ = (
+        "published",
+        "delivered",
+        "label_filtered",
+        "selector_filtered",
+        "errors",
+        "index_hits",
+        "route_cache_hits",
+        "scans",
+        "candidates",
+    )
 
     def __init__(self):
         self.published = 0
@@ -92,6 +169,14 @@ class BrokerStats:
         self.label_filtered = 0
         self.selector_filtered = 0
         self.errors = 0
+        #: Deliveries whose candidates came from a fresh trie lookup.
+        self.index_hits = 0
+        #: Deliveries served straight from the per-topic route cache.
+        self.route_cache_hits = 0
+        #: Deliveries that fell back to the legacy linear scan.
+        self.scans = 0
+        #: Total candidate subscriptions examined across deliveries.
+        self.candidates = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -100,7 +185,21 @@ class BrokerStats:
             "label_filtered": self.label_filtered,
             "selector_filtered": self.selector_filtered,
             "errors": self.errors,
+            "index_hits": self.index_hits,
+            "route_cache_hits": self.route_cache_hits,
+            "scans": self.scans,
+            "candidates": self.candidates,
         }
+
+
+#: A prepared candidate: (subscription, callback, compiled selector
+#: matcher or None, selector identity for per-publish memoization).
+_RouteEntry = Tuple[Subscription, Callable[[Event], None], Optional[Callable], Optional[Selector]]
+
+#: A resolved route: the full candidate entries plus, when no candidate
+#: carries a selector, a lean (subscription, callback) list the delivery
+#: loop can run without selector bookkeeping.
+_Route = Tuple[Sequence[_RouteEntry], Optional[Sequence[Tuple[Subscription, Callable]]]]
 
 
 class Broker:
@@ -111,6 +210,10 @@ class Broker:
     in-process pipelines. ``threaded=True`` enqueues events and a
     dispatcher thread delivers them, which is how the STOMP server runs
     so that jailed publishers never perform socket I/O themselves.
+
+    ``use_index=False`` routes through the legacy linear scan over
+    :func:`match_topic` — kept for the equivalence property tests and as
+    an escape hatch; semantics are identical either way.
     """
 
     def __init__(
@@ -119,6 +222,7 @@ class Broker:
         audit: Optional[AuditLog] = None,
         label_checks: bool = True,
         raise_errors: bool = False,
+        use_index: bool = True,
     ):
         self._lock = threading.RLock()
         self._subscriptions: Dict[str, Subscription] = {}
@@ -129,8 +233,11 @@ class Broker:
         #: propagate to the publisher instead of being contained — the
         #: engine relies on this to surface SecurityViolations in tests.
         self._raise_errors = raise_errors
+        self._use_index = use_index
+        self._index: TopicTrie[Subscription] = TopicTrie()
+        self._routes: Dict[str, Sequence[_RouteEntry]] = {}
         self.stats = BrokerStats()
-        self._queue: "queue.Queue[Optional[Event]]" = queue.Queue()
+        self._queue: "queue.Queue[object]" = queue.Queue()
         self._dispatcher: Optional[threading.Thread] = None
         if threaded:
             self.start()
@@ -159,7 +266,7 @@ class Broker:
         """Block until queued events have been dispatched (threaded mode)."""
         if self._threaded:
             done = threading.Event()
-            self._queue.put(done)  # type: ignore[arg-type]
+            self._queue.put(done)
             done.wait(timeout)
 
     # -- subscription management ------------------------------------------------
@@ -191,11 +298,23 @@ class Broker:
                     f"duplicate subscription id {subscription.subscription_id!r}"
                 )
             self._subscriptions[subscription.subscription_id] = subscription
+            self._index.add(
+                topic,
+                subscription.subscription_id,
+                subscription,
+                segments=subscription.segments,
+            )
+            self._routes.clear()
         return subscription
 
     def unsubscribe(self, subscription_id: str) -> None:
         with self._lock:
             subscription = self._subscriptions.pop(subscription_id, None)
+            if subscription is not None:
+                self._index.remove(
+                    subscription.topic, subscription_id, segments=subscription.segments
+                )
+                self._routes.clear()
         if subscription is not None:
             subscription.active = False
 
@@ -216,63 +335,195 @@ class Broker:
         delivery counts accumulate in :attr:`stats`.
         """
         self.stats.published += 1
-        self._audit.allowed("broker", "publish", publisher, labels=event.labels)
+        self._audit.note("broker", "publish", publisher, ALLOWED, event.labels)
         if self._threaded:
             self._queue.put(event)
             return 0
         return self._deliver(event)
 
+    def publish_many(self, events: Iterable[Event], publisher: str = "anonymous") -> int:
+        """Publish a batch of events; returns total deliveries (sync mode).
+
+        Semantically identical to calling :meth:`publish` per event — one
+        audit record and one ``published`` count each — but the batch is
+        enqueued as a single item in threaded mode, so the dispatcher
+        drains it without per-event queue handoffs.
+        """
+        batch = list(events)
+        if not batch:
+            return 0
+        stats = self.stats
+        audit_note = self._audit.note
+        stats.published += len(batch)
+        for event in batch:
+            audit_note("broker", "publish", publisher, ALLOWED, event.labels)
+        if self._threaded:
+            self._queue.put(batch)
+            return 0
+        deliver = self._deliver
+        return sum(deliver(event) for event in batch)
+
     def _dispatch_loop(self) -> None:
+        get = self._queue.get
+        get_nowait = self._queue.get_nowait
+        deliver = self._deliver
+        item: object = get()
         while True:
-            item = self._queue.get()
             if item is None:
                 return
             if isinstance(item, threading.Event):
                 item.set()
-                continue
-            self._deliver(item)
+            elif isinstance(item, list):
+                for event in item:
+                    deliver(event)
+            else:
+                deliver(item)
+            # Drain opportunistically so bursts are delivered in batches
+            # without a blocking get per event.
+            try:
+                item = get_nowait()
+            except queue.Empty:
+                item = get()
+
+    # -- delivery ------------------------------------------------------------------
+
+    def _build_route(self, topic: str) -> _Route:
+        """Resolve and cache the prepared candidate list for *topic*."""
+        with self._lock:
+            if self._use_index:
+                matched = self._index.match(topic)
+                self.stats.index_hits += 1
+            else:
+                matched = [
+                    subscription
+                    for subscription in self._subscriptions.values()
+                    if match_topic(subscription.topic, topic)
+                ]
+                self.stats.scans += 1
+            matched.sort(key=lambda subscription: subscription.seq)
+            entries = tuple(
+                (
+                    subscription,
+                    subscription.callback,
+                    None if subscription.selector is None else subscription.selector.matches,
+                    subscription.selector,
+                )
+                for subscription in matched
+            )
+            # The lean loop only runs with label checks off, so don't
+            # build (or scan for) the plain variant otherwise.
+            plain: Optional[Tuple[Tuple[Subscription, Callable], ...]] = None
+            if not self._label_checks and all(
+                subscription.selector is None for subscription in matched
+            ):
+                plain = tuple(
+                    (subscription, subscription.callback) for subscription in matched
+                )
+            route: _Route = (entries, plain)
+            if len(self._routes) >= _ROUTE_CACHE_LIMIT:
+                self._routes.clear()
+            self._routes[topic] = route
+        return route
 
     def _deliver(self, event: Event) -> int:
-        with self._lock:
-            candidates = list(self._subscriptions.values())
+        topic = event.topic
+        route = self._routes.get(topic)
+        if route is None:
+            route = self._build_route(topic)
+        else:
+            self.stats.route_cache_hits += 1
+        entries, plain = route
+        stats = self.stats
+        stats.candidates += len(entries)
+        if not entries:
+            return 0
+        if plain is not None and not self._label_checks:
+            return self._deliver_plain(event, plain)
+        return self._deliver_general(event, entries)
+
+    def _deliver_plain(
+        self, event: Event, plain: Sequence[Tuple[Subscription, Callable]]
+    ) -> int:
+        """Delivery with no selectors and label checks off: pure fan-out."""
+        stats = self.stats
         delivered = 0
-        for subscription in candidates:
-            if not subscription.active:
-                continue
-            if not match_topic(subscription.topic, event.topic):
-                continue
-            if subscription.selector is not None and not subscription.selector.matches(
-                event.attributes
-            ):
-                self.stats.selector_filtered += 1
-                continue
-            if self._label_checks and not subscription.cleared_for(event):
-                self.stats.label_filtered += 1
-                self._audit.denied(
-                    "broker",
-                    "deliver",
-                    subscription.principal,
-                    labels=event.labels,
-                    detail=f"subscription {subscription.subscription_id} lacks clearance",
-                )
-                continue
-            try:
-                subscription.callback(event)
-                delivered += 1
-                self.stats.delivered += 1
-                if self._label_checks:
-                    self._audit.allowed(
-                        "broker", "deliver", subscription.principal, labels=event.labels
+        try:
+            for subscription, callback in plain:
+                if not subscription.active:
+                    continue
+                try:
+                    callback(event)
+                    delivered += 1
+                except Exception as exc:  # noqa: BLE001 - a failing subscriber must not stop others
+                    stats.errors += 1
+                    self._audit.note(
+                        "broker",
+                        "deliver",
+                        subscription.principal,
+                        DENIED,
+                        event.labels,
+                        f"callback error: {exc!r}",
                     )
-            except Exception as exc:  # noqa: BLE001 - a failing subscriber must not stop others
-                self.stats.errors += 1
-                self._audit.denied(
-                    "broker",
-                    "deliver",
-                    subscription.principal,
-                    labels=event.labels,
-                    detail=f"callback error: {exc!r}",
-                )
-                if self._raise_errors:
-                    raise
+                    if self._raise_errors:
+                        raise
+        finally:
+            stats.delivered += delivered
+        return delivered
+
+    def _deliver_general(self, event: Event, entries: Sequence[_RouteEntry]) -> int:
+        stats = self.stats
+        label_checks = self._label_checks
+        attributes = event.attributes
+        labels = event.labels
+        audit_note = self._audit.note
+        delivered = 0
+        selector_filtered = 0
+        label_filtered = 0
+        # Identical selector objects (shared through the parse cache) are
+        # evaluated once per publish, not once per subscription.
+        selector_memo: Dict[Selector, bool] = {}
+        try:
+            for subscription, callback, selector_matches, selector in entries:
+                if not subscription.active:
+                    continue
+                if selector_matches is not None:
+                    matched = selector_memo.get(selector)
+                    if matched is None:
+                        matched = selector_matches(attributes)
+                        selector_memo[selector] = matched
+                    if not matched:
+                        selector_filtered += 1
+                        continue
+                if label_checks and not subscription.cleared_for(event):
+                    label_filtered += 1
+                    audit_note(
+                        "broker",
+                        "deliver",
+                        subscription.principal,
+                        DENIED,
+                        labels,
+                        subscription._denial_detail,
+                    )
+                    continue
+                try:
+                    callback(event)
+                    delivered += 1
+                    if label_checks:
+                        audit_note("broker", "deliver", subscription.principal, ALLOWED, labels)
+                except Exception as exc:  # noqa: BLE001 - a failing subscriber must not stop others
+                    stats.errors += 1
+                    audit_note(
+                        "broker",
+                        "deliver",
+                        subscription.principal,
+                        DENIED,
+                        labels,
+                        f"callback error: {exc!r}",
+                    )
+                    if self._raise_errors:
+                        raise
+        finally:
+            stats.delivered += delivered
+            stats.selector_filtered += selector_filtered
+            stats.label_filtered += label_filtered
         return delivered

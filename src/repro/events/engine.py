@@ -147,6 +147,32 @@ class EventProcessingEngine:
         self.broker.publish(event, publisher=publisher)
         return event
 
+    def publish_batch(
+        self,
+        events: Iterable[Event | dict],
+        publisher: str = "external",
+    ) -> List[Event]:
+        """Inject a batch of pre-labelled events through one broker call.
+
+        Items are :class:`Event` instances or mappings with ``topic`` /
+        ``attributes`` / ``payload`` / ``labels`` keys. Importers
+        (backend ingest pipelines) use this so a burst of externally
+        produced records pays one queue handoff instead of one per event.
+        """
+        batch: List[Event] = [
+            event
+            if isinstance(event, Event)
+            else Event(
+                event["topic"],
+                event.get("attributes"),
+                event.get("payload"),
+                event.get("labels", ()),
+            )
+            for event in events
+        ]
+        self.broker.publish_many(batch, publisher=publisher)
+        return batch
+
     # -- internal: subscription wiring ---------------------------------------------
 
     def _register_subscription(

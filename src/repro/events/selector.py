@@ -23,10 +23,15 @@ to SQL ``NULL``; the whole selector matches only when it evaluates to
 
 from __future__ import annotations
 
+import operator
 import re
-from typing import Any, List, Mapping, Optional, Tuple
+from functools import lru_cache
+from typing import Any, Callable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import SelectorSyntaxError
+
+#: A compiled evaluator: attributes → value (None is SQL NULL/UNKNOWN).
+_Evaluator = Callable[[Mapping[str, str]], Any]
 
 # ---------------------------------------------------------------------------
 # Lexer
@@ -91,9 +96,16 @@ def _tokenize(text: str) -> List[_Token]:
 
 
 class _Node:
+    """AST node. ``evaluate`` is the reference tree-walking interpreter;
+    ``compile`` folds the node into a closure so the hot delivery path
+    pays no per-event tree walk or attribute re-lookup."""
+
     __slots__ = ()
 
     def evaluate(self, attributes: Mapping[str, str]) -> Any:
+        raise NotImplementedError
+
+    def compile(self) -> _Evaluator:
         raise NotImplementedError
 
 
@@ -106,6 +118,10 @@ class _Literal(_Node):
     def evaluate(self, attributes: Mapping[str, str]) -> Any:
         return self.value
 
+    def compile(self) -> _Evaluator:
+        value = self.value
+        return lambda attributes: value
+
 
 class _Attribute(_Node):
     __slots__ = ("name",)
@@ -115,6 +131,10 @@ class _Attribute(_Node):
 
     def evaluate(self, attributes: Mapping[str, str]) -> Any:
         return attributes.get(self.name)
+
+    def compile(self) -> _Evaluator:
+        name = self.name
+        return lambda attributes: attributes.get(name)
 
 
 def _as_number(value: Any) -> Optional[float]:
@@ -160,6 +180,44 @@ def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
     raise SelectorSyntaxError(f"unknown comparison operator {op!r}")
 
 
+_COMPARATOR_OPS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _make_comparator(op: str) -> Callable[[Any, Any], Optional[bool]]:
+    """A closure with the exact semantics of :func:`_compare`, but with
+    the operator resolved once at compile time instead of per event."""
+    if op not in _COMPARATOR_OPS:
+        raise SelectorSyntaxError(f"unknown comparison operator {op!r}")
+    apply_op = _COMPARATOR_OPS[op]
+    is_eq = op == "="
+    is_ne = op == "<>"
+
+    def compare(left: Any, right: Any) -> Optional[bool]:
+        if left is None or right is None:
+            return None
+        if isinstance(left, bool) or isinstance(right, bool):
+            if is_eq:
+                return left is right
+            if is_ne:
+                return left is not right
+            return None
+        if isinstance(left, (int, float)) or isinstance(right, (int, float)):
+            left_num, right_num = _as_number(left), _as_number(right)
+            if left_num is None or right_num is None:
+                return None if not (is_eq or is_ne) else is_ne
+            return apply_op(left_num, right_num)
+        return apply_op(str(left), str(right))
+
+    return compare
+
+
 class _Comparison(_Node):
     __slots__ = ("op", "left", "right")
 
@@ -170,6 +228,12 @@ class _Comparison(_Node):
 
     def evaluate(self, attributes: Mapping[str, str]) -> Optional[bool]:
         return _compare(self.op, self.left.evaluate(attributes), self.right.evaluate(attributes))
+
+    def compile(self) -> _Evaluator:
+        compare = _make_comparator(self.op)
+        left = self.left.compile()
+        right = self.right.compile()
+        return lambda attributes: compare(left(attributes), right(attributes))
 
 
 class _Arithmetic(_Node):
@@ -197,6 +261,38 @@ class _Arithmetic(_Node):
             return left / right
         raise SelectorSyntaxError(f"unknown arithmetic operator {self.op!r}")
 
+    def compile(self) -> _Evaluator:
+        op = self.op
+        left = self.left.compile()
+        right = self.right.compile()
+        if op == "/":
+
+            def divide(attributes: Mapping[str, str]) -> Optional[float]:
+                left_num = _as_number(left(attributes))
+                right_num = _as_number(right(attributes))
+                if left_num is None or right_num is None or right_num == 0:
+                    return None
+                return left_num / right_num
+
+            return divide
+        if op == "+":
+            apply_op = operator.add
+        elif op == "-":
+            apply_op = operator.sub
+        elif op == "*":
+            apply_op = operator.mul
+        else:
+            raise SelectorSyntaxError(f"unknown arithmetic operator {op!r}")
+
+        def arith(attributes: Mapping[str, str]) -> Optional[float]:
+            left_num = _as_number(left(attributes))
+            right_num = _as_number(right(attributes))
+            if left_num is None or right_num is None:
+                return None
+            return apply_op(left_num, right_num)
+
+        return arith
+
 
 class _Negate(_Node):
     __slots__ = ("operand",)
@@ -207,6 +303,15 @@ class _Negate(_Node):
     def evaluate(self, attributes: Mapping[str, str]) -> Optional[float]:
         value = _as_number(self.operand.evaluate(attributes))
         return None if value is None else -value
+
+    def compile(self) -> _Evaluator:
+        operand = self.operand.compile()
+
+        def negate(attributes: Mapping[str, str]) -> Optional[float]:
+            value = _as_number(operand(attributes))
+            return None if value is None else -value
+
+        return negate
 
 
 class _Not(_Node):
@@ -220,6 +325,17 @@ class _Not(_Node):
         if value is None:
             return None
         return not bool(value)
+
+    def compile(self) -> _Evaluator:
+        operand = self.operand.compile()
+
+        def negate(attributes: Mapping[str, str]) -> Optional[bool]:
+            value = operand(attributes)
+            if value is None:
+                return None
+            return not bool(value)
+
+        return negate
 
 
 class _And(_Node):
@@ -240,6 +356,23 @@ class _And(_Node):
             return None
         return True
 
+    def compile(self) -> _Evaluator:
+        left = self.left.compile()
+        right = self.right.compile()
+
+        def conjoin(attributes: Mapping[str, str]) -> Optional[bool]:
+            left_value = left(attributes)
+            if left_value is False:
+                return False
+            right_value = right(attributes)
+            if right_value is False:
+                return False
+            if left_value is None or right_value is None:
+                return None
+            return True
+
+        return conjoin
+
 
 class _Or(_Node):
     __slots__ = ("left", "right")
@@ -258,6 +391,23 @@ class _Or(_Node):
         if left is None or right is None:
             return None
         return False
+
+    def compile(self) -> _Evaluator:
+        left = self.left.compile()
+        right = self.right.compile()
+
+        def disjoin(attributes: Mapping[str, str]) -> Optional[bool]:
+            left_value = left(attributes)
+            if left_value is True:
+                return True
+            right_value = right(attributes)
+            if right_value is True:
+                return True
+            if left_value is None or right_value is None:
+                return None
+            return False
+
+        return disjoin
 
 
 class _Between(_Node):
@@ -278,6 +428,23 @@ class _Between(_Node):
         result = low <= value <= high
         return not result if self.negated else result
 
+    def compile(self) -> _Evaluator:
+        operand = self.operand.compile()
+        low = self.low.compile()
+        high = self.high.compile()
+        negated = self.negated
+
+        def between(attributes: Mapping[str, str]) -> Optional[bool]:
+            value = _as_number(operand(attributes))
+            low_value = _as_number(low(attributes))
+            high_value = _as_number(high(attributes))
+            if value is None or low_value is None or high_value is None:
+                return None
+            result = low_value <= value <= high_value
+            return not result if negated else result
+
+        return between
+
 
 class _In(_Node):
     __slots__ = ("operand", "choices", "negated")
@@ -293,6 +460,20 @@ class _In(_Node):
             return None
         result = str(value) in self.choices
         return not result if self.negated else result
+
+    def compile(self) -> _Evaluator:
+        operand = self.operand.compile()
+        choices = frozenset(self.choices)
+        negated = self.negated
+
+        def contains(attributes: Mapping[str, str]) -> Optional[bool]:
+            value = operand(attributes)
+            if value is None:
+                return None
+            result = str(value) in choices
+            return not result if negated else result
+
+        return contains
 
 
 class _Like(_Node):
@@ -310,6 +491,20 @@ class _Like(_Node):
         result = self.regex.fullmatch(str(value)) is not None
         return not result if self.negated else result
 
+    def compile(self) -> _Evaluator:
+        operand = self.operand.compile()
+        fullmatch = self.regex.fullmatch
+        negated = self.negated
+
+        def like(attributes: Mapping[str, str]) -> Optional[bool]:
+            value = operand(attributes)
+            if value is None:
+                return None
+            result = fullmatch(str(value)) is not None
+            return not result if negated else result
+
+        return like
+
 
 class _IsNull(_Node):
     __slots__ = ("operand", "negated")
@@ -321,6 +516,16 @@ class _IsNull(_Node):
     def evaluate(self, attributes: Mapping[str, str]) -> bool:
         is_null = self.operand.evaluate(attributes) is None
         return not is_null if self.negated else is_null
+
+    def compile(self) -> _Evaluator:
+        operand = self.operand.compile()
+        negated = self.negated
+
+        def is_null(attributes: Mapping[str, str]) -> bool:
+            result = operand(attributes) is None
+            return not result if negated else result
+
+        return is_null
 
 
 def _like_to_regex(pattern: str, escape: Optional[str]):
@@ -489,23 +694,44 @@ class _Parser:
 
 
 class Selector:
-    """A compiled selector; ``matches`` applies SQL semantics (NULL ≠ match)."""
+    """A compiled selector; ``matches`` applies SQL semantics (NULL ≠ match).
 
-    __slots__ = ("text", "_root")
+    Parsing produces both the AST (kept as the reference interpreter,
+    reachable via :meth:`matches_interpreted`) and a compiled closure
+    tree used by :meth:`matches` on the hot delivery path. Instances are
+    immutable and safe to share across subscriptions and threads.
+    """
+
+    __slots__ = ("text", "_root", "_compiled")
 
     def __init__(self, text: str):
         self.text = text
         self._root = _Parser(_tokenize(text)).parse()
+        self._compiled = self._root.compile()
 
     def matches(self, attributes: Mapping[str, str]) -> bool:
+        return self._compiled(attributes) is True
+
+    def matches_interpreted(self, attributes: Mapping[str, str]) -> bool:
+        """The reference tree-walking evaluation (for equivalence tests)."""
         return self._root.evaluate(attributes) is True
 
     def __repr__(self) -> str:
         return f"Selector({self.text!r})"
 
 
+@lru_cache(maxsize=1024)
+def _cached_selector(text: str) -> Selector:
+    return Selector(text)
+
+
 def parse_selector(text: Optional[str]) -> Optional[Selector]:
-    """Compile *text*, returning ``None`` for empty/absent selectors."""
+    """Compile *text*, returning ``None`` for empty/absent selectors.
+
+    Results are cached by selector text, so repeated STOMP ``selector``
+    headers (every subscriber of a fleet sending the same expression)
+    parse and compile exactly once.
+    """
     if text is None or not text.strip():
         return None
-    return Selector(text)
+    return _cached_selector(text)

@@ -140,8 +140,7 @@ class _Connection(socketserver.BaseRequestHandler):
                     return
                 if not data:
                     return
-                for frame in self.parser.feed(data):
-                    self._dispatch(frame)
+                self._dispatch_frames(self.parser.feed(data))
             self._flush_outgoing(sock)
         except (StompProtocolError, SelectorSyntaxError) as error:
             self._send(Frame("ERROR", {"message": str(error)}))
@@ -168,6 +167,51 @@ class _Connection(socketserver.BaseRequestHandler):
                 sock.settimeout(self.POLL_SECONDS)
 
     # -- frame dispatch --------------------------------------------------------
+
+    def _dispatch_frames(self, frames) -> None:
+        """Dispatch a parsed batch, publishing runs of SEND frames together.
+
+        A producer that writes several SEND frames per TCP segment gets
+        them published through :meth:`Broker.publish_many` — one queue
+        handoff for the whole run — while every other command keeps its
+        per-frame handling. Error and receipt semantics stay per frame.
+        """
+        pending_sends: list = []
+        for frame in frames:
+            if frame.command == "SEND":
+                pending_sends.append(frame)
+                continue
+            self._flush_sends(pending_sends)
+            self._dispatch(frame)
+        self._flush_sends(pending_sends)
+
+    def _flush_sends(self, frames: list) -> None:
+        if not frames:
+            return
+        events = []
+        publishable = []
+        try:
+            for frame in frames:
+                try:
+                    principal = self._require_connected()
+                    events.append(frame_to_event(frame))
+                    publishable.append(frame)
+                except (StompProtocolError, SelectorSyntaxError) as error:
+                    self._send(Frame("ERROR", {"message": str(error)}))
+                    self._maybe_receipt(frame)
+        finally:
+            # Publish whatever converted cleanly even if a later frame
+            # raised something unexpected (e.g. a malformed label URI) —
+            # the per-frame dispatch this replaces had already published
+            # the earlier events by that point.
+            if events:
+                if len(events) == 1:
+                    self.server.broker.publish(events[0], publisher=principal)
+                else:
+                    self.server.broker.publish_many(events, publisher=principal)
+                for frame in publishable:
+                    self._maybe_receipt(frame)
+            frames.clear()
 
     def _dispatch(self, frame: Frame) -> None:
         handler = {

@@ -78,6 +78,63 @@ class TestConnection:
             connect(server, login="mallory")
 
 
+def _raw_frame(command, headers, body=""):
+    head = "".join(f"{name}:{value}\n" for name, value in headers.items())
+    return (f"{command}\n{head}\n{body}\x00").encode()
+
+
+class TestBatchedSends:
+    """Several SEND frames in one TCP segment publish as one batch."""
+
+    def test_batched_sends_all_delivered_in_order(self, server):
+        import socket
+
+        subscriber = connect(server)
+        received = []
+        subscriber.subscribe("/reports", received.append)
+        sock = socket.create_connection(server.address, timeout=5)
+        try:
+            sock.sendall(_raw_frame("CONNECT", {"login": "data_producer"}))
+            assert sock.recv(4096).startswith(b"CONNECTED")
+            sock.sendall(
+                b"".join(
+                    _raw_frame("SEND", {"destination": "/reports", "n": str(i)})
+                    for i in range(10)
+                )
+            )
+            assert wait_for(lambda: len(received) == 10)
+            assert [event["n"] for event in received] == [str(i) for i in range(10)]
+        finally:
+            sock.close()
+            subscriber.disconnect()
+
+    def test_invalid_frame_does_not_drop_earlier_batched_sends(self, server):
+        # A malformed label URI raises outside the per-frame protocol
+        # errors; events converted before it must still publish, as they
+        # did under per-frame dispatch.
+        import socket
+
+        subscriber = connect(server)
+        received = []
+        subscriber.subscribe("/reports", received.append)
+        sock = socket.create_connection(server.address, timeout=5)
+        try:
+            sock.sendall(_raw_frame("CONNECT", {"login": "data_producer"}))
+            assert sock.recv(4096).startswith(b"CONNECTED")
+            sock.sendall(
+                _raw_frame("SEND", {"destination": "/reports", "n": "ok"})
+                + _raw_frame(
+                    "SEND",
+                    {"destination": "/reports", "x-safeweb-labels": "not-a-label-uri"},
+                )
+            )
+            assert wait_for(lambda: len(received) == 1)
+            assert received[0]["n"] == "ok"
+        finally:
+            sock.close()
+            subscriber.disconnect()
+
+
 class TestPubSub:
     def test_publish_subscribe_round_trip(self, server):
         publisher = connect(server, login="data_producer")

@@ -1,0 +1,167 @@
+"""Property tests: the trie index is exactly the legacy linear scan.
+
+The broker's delivery fast path replaced the O(N) `match_topic` scan
+with a segment trie (:mod:`repro.events.index`) plus a per-topic route
+cache. These properties prove the replacement changes nothing
+observable: for arbitrary patterns and topics — including ``*``,
+trailing ``#``, the "``#`` must match at least one segment" rule and
+degenerate non-final-``#`` patterns — both paths select the same
+subscriptions, deliver the same events, and record the same audit
+outcomes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.audit import AuditLog
+from repro.core.labels import LabelSet, conf_label
+from repro.core.privileges import CLEARANCE, PrivilegeSet
+from repro.events.broker import Broker, match_topic
+from repro.events.event import Event
+from repro.events.index import TopicTrie
+
+# Small alphabets maximise collisions between patterns and topics, which
+# is where matching bugs live.
+_LITERALS = ("a", "b", "c", "x1")
+_pattern_segments = st.lists(
+    st.sampled_from(_LITERALS + ("*", "#")), min_size=1, max_size=4
+)
+_topic_segments = st.lists(st.sampled_from(_LITERALS + ("*", "#")), min_size=1, max_size=5)
+
+patterns = _pattern_segments.map(lambda parts: "/" + "/".join(parts))
+topics = _topic_segments.map(lambda parts: "/" + "/".join(parts))
+
+PATIENT = conf_label("ecric.org.uk", "patient", "1")
+MDT = conf_label("ecric.org.uk", "mdt")
+
+
+class TestTrieEquivalence:
+    @given(st.lists(patterns, min_size=1, max_size=12), topics)
+    def test_trie_matches_reference_matcher(self, pattern_list, topic):
+        trie = TopicTrie()
+        for index, pattern in enumerate(pattern_list):
+            trie.add(pattern, str(index), index)
+        expected = {
+            index
+            for index, pattern in enumerate(pattern_list)
+            if match_topic(pattern, topic)
+        }
+        assert set(trie.match(topic)) == expected
+
+    @given(st.lists(patterns, min_size=1, max_size=12))
+    def test_trie_matches_pattern_as_its_own_topic(self, pattern_list):
+        # Exercises the raw-equality shortcut, which is the only way a
+        # degenerate non-final-# pattern ever matches.
+        trie = TopicTrie()
+        for index, pattern in enumerate(pattern_list):
+            trie.add(pattern, str(index), index)
+        for topic in pattern_list:
+            expected = {
+                index
+                for index, pattern in enumerate(pattern_list)
+                if match_topic(pattern, topic)
+            }
+            assert set(trie.match(topic)) == expected
+
+    @given(
+        st.lists(st.tuples(patterns, st.booleans()), min_size=1, max_size=10),
+        st.lists(topics, min_size=1, max_size=6),
+    )
+    def test_removal_keeps_equivalence(self, subscriptions, topic_list):
+        trie = TopicTrie()
+        for index, (pattern, _) in enumerate(subscriptions):
+            trie.add(pattern, str(index), index)
+        kept = {}
+        for index, (pattern, keep) in enumerate(subscriptions):
+            if keep:
+                kept[index] = pattern
+            else:
+                assert trie.remove(pattern, str(index)) == index
+        assert len(trie) == len(kept)
+        for topic in topic_list:
+            expected = {
+                index for index, pattern in kept.items() if match_topic(pattern, topic)
+            }
+            assert set(trie.match(topic)) == expected
+
+
+def _mirrored_brokers():
+    """An indexed broker and a legacy linear-scan broker, same audit shape."""
+    indexed = Broker(audit=AuditLog(), use_index=True)
+    scanning = Broker(audit=AuditLog(), use_index=False)
+    return indexed, scanning
+
+
+_SELECTORS = (None, "kind = 'cancer'", "stage > 1", "kind = 'cancer' AND stage > 1")
+_CLEARANCES = (
+    PrivilegeSet.empty(),
+    PrivilegeSet({CLEARANCE: [PATIENT]}),
+    PrivilegeSet({CLEARANCE: [PATIENT, MDT]}),
+)
+_LABEL_CHOICES = (LabelSet(), LabelSet([PATIENT]), LabelSet([PATIENT, MDT]))
+_ATTRIBUTE_CHOICES = (
+    {},
+    {"kind": "cancer", "stage": "1"},
+    {"kind": "cancer", "stage": "2"},
+    {"kind": "benign", "stage": "3"},
+)
+
+subscription_specs = st.tuples(
+    patterns,
+    st.integers(0, len(_SELECTORS) - 1),
+    st.integers(0, len(_CLEARANCES) - 1),
+)
+event_specs = st.tuples(
+    topics,
+    st.integers(0, len(_ATTRIBUTE_CHOICES) - 1),
+    st.integers(0, len(_LABEL_CHOICES) - 1),
+)
+
+
+class TestBrokerEquivalence:
+    """Full delivery semantics: topic, selector, labels, audit outcomes."""
+
+    @settings(deadline=None)
+    @given(
+        st.lists(subscription_specs, min_size=1, max_size=8),
+        st.lists(event_specs, min_size=1, max_size=8),
+    )
+    def test_indexed_delivery_equals_linear_scan(self, sub_specs, ev_specs):
+        indexed, scanning = _mirrored_brokers()
+        received = {True: {}, False: {}}
+        for use_index, broker in ((True, indexed), (False, scanning)):
+            for index, (pattern, sel_index, clr_index) in enumerate(sub_specs):
+                inbox = received[use_index].setdefault(index, [])
+                broker.subscribe(
+                    pattern,
+                    inbox.append,
+                    principal=f"unit-{index}",
+                    clearance=_CLEARANCES[clr_index],
+                    selector=_SELECTORS[sel_index],
+                    subscription_id=f"sub-{index}",
+                )
+
+        for topic, attr_index, label_index in ev_specs:
+            event_indexed = Event(
+                topic, _ATTRIBUTE_CHOICES[attr_index], labels=_LABEL_CHOICES[label_index]
+            )
+            event_scanned = Event(
+                topic, _ATTRIBUTE_CHOICES[attr_index], labels=_LABEL_CHOICES[label_index]
+            )
+            assert indexed.publish(event_indexed) == scanning.publish(event_scanned)
+
+        for index in range(len(sub_specs)):
+            indexed_topics = [event.topic for event in received[True][index]]
+            scanned_topics = [event.topic for event in received[False][index]]
+            assert indexed_topics == scanned_topics, f"subscription {index} diverged"
+
+        indexed_stats = indexed.stats.snapshot()
+        scanning_stats = scanning.stats.snapshot()
+        for counter in ("published", "delivered", "label_filtered", "selector_filtered", "errors"):
+            assert indexed_stats[counter] == scanning_stats[counter], counter
+        assert indexed_stats["scans"] == 0
+        assert scanning_stats["index_hits"] == 0
+
+        for decision in ("allowed", "denied"):
+            assert indexed._audit.count(component="broker", decision=decision) == (
+                scanning._audit.count(component="broker", decision=decision)
+            ), decision

@@ -1,0 +1,123 @@
+"""Unit tests for the topic trie index (§4.2 delivery fast path)."""
+
+import pytest
+
+from repro.events.index import TopicTrie, split_topic
+
+
+def ids(trie, topic):
+    return sorted(trie.match(topic))
+
+
+class TestSplit:
+    def test_matches_reference_segmentation(self):
+        assert split_topic("/a/b") == ("a", "b")
+        assert split_topic("a/b/") == ("a", "b")
+        assert split_topic("/") == ("",)
+        assert split_topic("/a//b") == ("a", "", "b")
+
+
+class TestExactMatching:
+    def test_exact_topic(self):
+        trie = TopicTrie()
+        trie.add("/a/b", "s1", 1)
+        assert ids(trie, "/a/b") == [1]
+        assert ids(trie, "/a") == []
+        assert ids(trie, "/a/b/c") == []
+
+    def test_leading_slash_is_normalised(self):
+        trie = TopicTrie()
+        trie.add("a/b", "s1", 1)
+        assert ids(trie, "/a/b") == [1]
+
+    def test_multiple_values_per_pattern(self):
+        trie = TopicTrie()
+        trie.add("/a", "s1", 1)
+        trie.add("/a", "s2", 2)
+        assert ids(trie, "/a") == [1, 2]
+        assert len(trie) == 2
+
+
+class TestWildcards:
+    def test_star_matches_exactly_one_segment(self):
+        trie = TopicTrie()
+        trie.add("/a/*", "s1", 1)
+        assert ids(trie, "/a/b") == [1]
+        assert ids(trie, "/a") == []
+        assert ids(trie, "/a/b/c") == []
+
+    def test_star_in_the_middle(self):
+        trie = TopicTrie()
+        trie.add("/*/b", "s1", 1)
+        assert ids(trie, "/a/b") == [1]
+        assert ids(trie, "/a/c") == []
+
+    def test_star_and_literal_both_match(self):
+        trie = TopicTrie()
+        trie.add("/a/*", "s1", 1)
+        trie.add("/a/b", "s2", 2)
+        assert ids(trie, "/a/b") == [1, 2]
+
+    def test_trailing_hash_requires_at_least_one_segment(self):
+        trie = TopicTrie()
+        trie.add("/a/#", "s1", 1)
+        assert ids(trie, "/a/b") == [1]
+        assert ids(trie, "/a/b/c/d") == [1]
+        assert ids(trie, "/a") == []
+
+    def test_root_hash_matches_everything(self):
+        trie = TopicTrie()
+        trie.add("/#", "s1", 1)
+        assert ids(trie, "/anything/at/all") == [1]
+        assert ids(trie, "/x") == [1]
+
+    def test_non_final_hash_matches_only_its_own_raw_string(self):
+        # match_topic's pattern == topic shortcut is the only way a
+        # degenerate pattern matches; the trie must mirror it.
+        trie = TopicTrie()
+        trie.add("/#/a", "s1", 1)
+        assert ids(trie, "/#/a") == [1]
+        assert ids(trie, "/b/a") == []
+        assert ids(trie, "/x/a") == []
+
+    def test_star_matches_literal_star_and_hash_segments(self):
+        trie = TopicTrie()
+        trie.add("/a/*", "s1", 1)
+        assert ids(trie, "/a/*") == [1]
+        assert ids(trie, "/a/#") == [1]
+
+
+class TestRemoval:
+    def test_remove_returns_value(self):
+        trie = TopicTrie()
+        trie.add("/a/*", "s1", 1)
+        assert trie.remove("/a/*", "s1") == 1
+        assert trie.remove("/a/*", "s1") is None
+        assert ids(trie, "/a/b") == []
+        assert len(trie) == 0
+
+    def test_remove_unknown_pattern(self):
+        trie = TopicTrie()
+        assert trie.remove("/nope", "s1") is None
+
+    def test_remove_prunes_empty_branches(self):
+        trie = TopicTrie()
+        trie.add("/a/b/c", "s1", 1)
+        trie.add("/a/x", "s2", 2)
+        trie.remove("/a/b/c", "s1")
+        root = trie._root
+        assert "b" not in root.children["a"].children
+        assert "x" in root.children["a"].children
+
+    def test_remove_degenerate_pattern(self):
+        trie = TopicTrie()
+        trie.add("/#/a", "s1", 1)
+        assert trie.remove("/#/a", "s1") == 1
+        assert ids(trie, "/#/a") == []
+        assert len(trie) == 0
+
+    def test_remove_hash_pattern(self):
+        trie = TopicTrie()
+        trie.add("/a/#", "s1", 1)
+        assert trie.remove("/a/#", "s1") == 1
+        assert ids(trie, "/a/b") == []
