@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-unit bench-smoke bench-broker bench
+.PHONY: test test-unit bench-smoke bench-broker bench-taint bench
 
 ## Tier-1: the full suite (unit + property + integration + benchmark smoke).
 test:
@@ -18,6 +18,10 @@ bench-smoke:
 ## Broker perf snapshot: appends A1/E4 results to BENCH_broker.json.
 bench-broker:
 	$(PYTHON) scripts/bench_broker.py
+
+## Taint perf snapshot: appends A2/E2 results to BENCH_taint.json.
+bench-taint:
+	$(PYTHON) scripts/bench_taint.py
 
 ## The full paper benchmark suite (slow).
 bench:

@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Taint perf snapshot: A2 per-operation latency + E2 pipeline latency → JSON.
+
+Runs the taint-focused measurements outside pytest and appends one entry
+to ``BENCH_taint.json`` in the repo root, so successive PRs have a perf
+trajectory to compare against (the taint-layer sibling of
+``scripts/bench_broker.py``):
+
+    python scripts/bench_taint.py            # full run
+    python scripts/bench_taint.py --quick    # smaller iteration counts
+
+Each entry records the git revision, per-family A2 mean/median µs for the
+plain and labeled variants of the hot operator families (concatenation,
+percent formatting, template rendering, regex group extraction, JSON
+encoding, document encode/decode round trips) and the E2 end-to-end
+per-event latency with and without enforcement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.timing import measure_latency, overhead_percent  # noqa: E402
+from repro.core.labels import LabelSet  # noqa: E402
+from repro.mdt.deployment import MdtDeployment  # noqa: E402
+from repro.mdt.labels import mdt_label  # noqa: E402
+from repro.mdt.workload import WorkloadConfig  # noqa: E402
+from repro.taint import LabeledInt, LabeledStr, json_codec, regex  # noqa: E402
+from repro.web.templates import Template  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "BENCH_taint.json"
+
+LABELS = LabelSet([mdt_label("1")])
+PLAIN_NAME = "alice example-patient"
+LABELED_NAME = LabeledStr(PLAIN_NAME, labels=LABELS)
+PLAIN_TEMPLATE = "patient: %s, again: %s"
+LABELED_TEMPLATE = LabeledStr(PLAIN_TEMPLATE)
+ERB = Template("<% for item in items %><li><%= item %></li><% end %>")
+PLAIN_ITEMS = [PLAIN_NAME] * 10
+LABELED_ITEMS = [LABELED_NAME] * 10
+
+DOCUMENT = {
+    "name": LabeledStr("alice", labels=LABELS),
+    "mdt": LabeledInt(7, labels=LABELS),
+    "history": [LabeledStr(f"visit-{i}", labels=LABELS) for i in range(5)],
+    "public": {"site": "ecric.org.uk", "count": 3},
+}
+_PLAIN_DOC, _SIDECAR = json_codec.encode_document(DOCUMENT)
+
+
+def _json_plain():
+    import json as _json
+
+    return _json.dumps({"name": PLAIN_NAME, "n": 3})
+
+
+def _json_labeled():
+    return json_codec.dumps({"name": LABELED_NAME, "n": LabeledInt(3, labels=LABELS)})
+
+
+FAMILIES = {
+    "concatenation": (
+        lambda: PLAIN_NAME + "-" + PLAIN_NAME,
+        lambda: LABELED_NAME + "-" + LABELED_NAME,
+    ),
+    "percent_formatting": (
+        lambda: PLAIN_TEMPLATE % (PLAIN_NAME, PLAIN_NAME),
+        lambda: LABELED_TEMPLATE % (LABELED_NAME, LABELED_NAME),
+    ),
+    "template_rendering": (
+        lambda: ERB.render(items=PLAIN_ITEMS),
+        lambda: ERB.render(items=LABELED_ITEMS),
+    ),
+    "regex_group_extraction": (
+        lambda: __import__("re").match(r"(\w+) (.*)", PLAIN_NAME).group(1),
+        lambda: regex.match(r"(\w+) (.*)", LABELED_NAME).group(1),
+    ),
+    "json_encoding": (_json_plain, _json_labeled),
+    "document_encode": (
+        lambda: json_codec.encode_document({"public": {"site": "x", "count": 3}}),
+        lambda: json_codec.encode_document(DOCUMENT),
+    ),
+    "document_decode": (
+        lambda: json_codec.decode_document(_PLAIN_DOC, {}),
+        lambda: json_codec.decode_document(_PLAIN_DOC, _SIDECAR),
+    ),
+}
+
+
+def measure_a2(iterations: int) -> dict:
+    results = {}
+    for family, (plain_op, labeled_op) in FAMILIES.items():
+        plain = measure_latency(plain_op, iterations=iterations, warmup=100)
+        labeled = measure_latency(labeled_op, iterations=iterations, warmup=100)
+        results[family] = {
+            "plain_mean_us": round(plain.mean * 1e6, 4),
+            "labeled_mean_us": round(labeled.mean * 1e6, 4),
+            "labeled_median_us": round(labeled.median * 1e6, 4),
+            "overhead_percent": round(overhead_percent(plain.mean, labeled.mean), 1),
+        }
+    return results
+
+
+def measure_e2(rounds: int) -> dict:
+    config = WorkloadConfig(num_regions=1, mdts_per_region=2, patients_per_mdt=10, seed=23)
+
+    def per_event_latency(deployment: MdtDeployment) -> float:
+        total_events = 0
+        started = time.perf_counter()
+        for _ in range(rounds):
+            deployment.import_data()
+            deployment.aggregate()
+            total_events += deployment.producer.events_published
+            deployment.engine.store_of("data_aggregator").clear()
+            deployment.producer.events_published = 0
+        elapsed = time.perf_counter() - started
+        return elapsed / max(1, total_events)
+
+    plain = MdtDeployment(
+        config=config,
+        isolation=False,
+        label_checks_in_broker=False,
+        check_labels=False,
+        label_events=False,
+    )
+    protected = MdtDeployment(config=config)
+    # Warm both pipelines once before timing.
+    for deployment in (plain, protected):
+        deployment.import_data()
+        deployment.aggregate()
+        deployment.engine.store_of("data_aggregator").clear()
+        deployment.producer.events_published = 0
+    baseline = per_event_latency(plain)
+    enforced = per_event_latency(protected)
+    return {
+        "rounds": rounds,
+        "baseline_ms_per_event": round(baseline * 1e3, 4),
+        "protected_ms_per_event": round(enforced * 1e3, 4),
+        "overhead_percent": round(overhead_percent(baseline, enforced), 1),
+    }
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller iteration counts for a smoke run"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="result file to append to"
+    )
+    parser.add_argument(
+        "--note", default="", help="free-form tag recorded with the entry"
+    )
+    args = parser.parse_args()
+
+    iterations = 1000 if args.quick else 4000
+    e2_rounds = 5 if args.quick else 15
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "revision": git_revision(),
+        "note": args.note,
+        "a2_us_per_op": measure_a2(iterations),
+        "e2_pipeline": measure_e2(e2_rounds),
+    }
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    print(f"\nappended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""Security labels and label sets (paper §4.1).
+"""Security labels and label sets (paper §4.1), hash-consed.
 
 SafeWeb associates a set of security labels with each event in the backend
 and with each variable in the frontend. There are two kinds:
@@ -18,13 +18,39 @@ Labels are represented as URIs, e.g.::
 
 The authority component names the organisation that owns the label; the
 path component scopes it (a patient, an MDT, a region, …).
+
+Performance model (the taint fast path)
+---------------------------------------
+
+Label tracking is the frontend's per-operation tax, so both classes are
+**interned**: constructing a :class:`Label` or :class:`LabelSet` that
+already exists returns the canonical instance from a global intern table.
+Interning buys three things on the hot path:
+
+* equality degenerates to identity for the common case (``a is b``),
+  and the empty set is a singleton every layer can ``is``-check;
+* hashes and the confidentiality/integrity partitions are computed once
+  at construction and reused forever, so clearance checks stop
+  re-scanning sets with generator expressions;
+* the IFC operators (:meth:`LabelSet.combine`, :meth:`LabelSet.flows_to`,
+  set algebra) can be memoized on operand identity through a bounded LRU
+  that never needs invalidation, because every instance is immutable.
+
+Validation runs only on an intern miss, so repeated construction of the
+same label amortises its own checking away. The intern tables are
+process-global **weak-valued** mappings: canonical instances stay alive
+exactly as long as something references them (an event, a labeled value,
+a memo entry), so per-patient label churn in a long-running process is
+reclaimed by the GC instead of pinned forever. The operator memos are
+bounded LRUs.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator
+import weakref
+from functools import lru_cache
+from typing import FrozenSet, Iterable, Iterator, Tuple
 
 from repro.exceptions import LabelError
 
@@ -39,38 +65,65 @@ _URI_RE = re.compile(
     r"^label:(?P<kind>conf|int):(?P<authority>[A-Za-z0-9.\-]+)(?P<path>(?:/[A-Za-z0-9._\-]+)*)$"
 )
 
+#: Bound for the binary-operator memo tables. Label diversity in one
+#: process is policy-defined and small; 8192 distinct *pairs* is far
+#: beyond any deployment in the paper while still bounding memory.
+_MEMO_SIZE = 8192
 
-@dataclass(frozen=True, slots=True)
+
 class Label:
-    """A single tamper-resistant security label.
+    """A single tamper-resistant, interned security label.
 
-    Instances are immutable and hashable so they can live in frozensets
-    that travel with events and variables. Use :func:`conf_label` /
-    :func:`int_label` for convenient construction and :func:`parse_label`
-    to parse the URI form.
+    Instances are immutable, hashable and canonical: constructing the
+    same ``(kind, authority, path)`` twice yields the *same* object, so
+    label comparisons inside hot frozenset operations short-circuit on
+    identity. Use :func:`conf_label` / :func:`int_label` for convenient
+    construction and :func:`parse_label` to parse the URI form.
     """
 
-    kind: str
-    authority: str
-    path: tuple[str, ...] = ()
+    __slots__ = ("kind", "authority", "path", "_uri", "_hash", "__weakref__")
 
-    def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
-            raise LabelError(f"unknown label kind {self.kind!r}; expected 'conf' or 'int'")
-        if not self.authority:
-            raise LabelError("label authority must be non-empty")
-        if not isinstance(self.path, tuple):
+    _intern: "weakref.WeakValueDictionary[Tuple[str, str, Tuple[str, ...]], Label]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, kind: str, authority: str, path: Iterable[str] = ()):
+        if not isinstance(path, tuple):
             # Accept any iterable of path segments for convenience.
-            object.__setattr__(self, "path", tuple(self.path))
-        for segment in self.path:
+            path = tuple(path)
+        key = (kind, authority, path)
+        interned = cls._intern.get(key)
+        if interned is not None:
+            return interned
+        # Validation only runs on an intern miss: a cache hit proves the
+        # label was already validated.
+        if kind not in _KINDS:
+            raise LabelError(f"unknown label kind {kind!r}; expected 'conf' or 'int'")
+        if not authority:
+            raise LabelError("label authority must be non-empty")
+        for segment in path:
             if not segment or "/" in segment:
                 raise LabelError(f"invalid label path segment {segment!r}")
+        instance = super().__new__(cls)
+        object.__setattr__(instance, "kind", kind)
+        object.__setattr__(instance, "authority", authority)
+        object.__setattr__(instance, "path", path)
+        suffix = "".join(f"/{segment}" for segment in path)
+        object.__setattr__(instance, "_uri", f"label:{kind}:{authority}{suffix}")
+        object.__setattr__(instance, "_hash", hash(key))
+        cls._intern[key] = instance
+        return instance
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Label instances are immutable")
+
+    def __delattr__(self, name):
+        raise AttributeError("Label instances are immutable")
 
     @property
     def uri(self) -> str:
         """The canonical URI form, e.g. ``label:conf:ecric.org.uk/patient/1``."""
-        suffix = "".join(f"/{segment}" for segment in self.path)
-        return f"label:{self.kind}:{self.authority}{suffix}"
+        return self._uri
 
     @property
     def is_confidentiality(self) -> bool:
@@ -97,25 +150,55 @@ class Label:
             and other.path[: len(self.path)] == self.path
         )
 
+    def __eq__(self, other) -> bool:
+        if self is other:
+            # Interning makes identity the common-case answer.
+            return True
+        if isinstance(other, Label):
+            return (
+                self.kind == other.kind
+                and self.authority == other.authority
+                and self.path == other.path
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        # Re-intern on unpickle so canonical identity survives transport.
+        return (Label, (self.kind, self.authority, self.path))
+
+    def __copy__(self) -> "Label":
+        return self
+
+    def __deepcopy__(self, memo) -> "Label":
+        return self
+
     def __str__(self) -> str:
-        return self.uri
+        return self._uri
 
     def __repr__(self) -> str:
-        return f"Label({self.uri!r})"
+        return f"Label({self._uri!r})"
 
 
 def conf_label(authority: str, *path: str) -> Label:
     """Construct a confidentiality label: ``conf_label('ecric.org.uk', 'patient', '1')``."""
-    return Label(CONFIDENTIALITY, authority, tuple(path))
+    return Label(CONFIDENTIALITY, authority, path)
 
 
 def int_label(authority: str, *path: str) -> Label:
     """Construct an integrity label: ``int_label('ecric.org.uk', 'mdt')``."""
-    return Label(INTEGRITY, authority, tuple(path))
+    return Label(INTEGRITY, authority, path)
 
 
+@lru_cache(maxsize=4096)
 def parse_label(uri: str) -> Label:
     """Parse the URI form produced by :attr:`Label.uri`.
+
+    Parsing is LRU-cached on the URI text: document loads re-present the
+    same few label URIs over and over, so the regex runs once per
+    distinct URI. (Failures raise and are never cached.)
 
     >>> parse_label("label:conf:ecric.org.uk/patient/33812769")
     Label('label:conf:ecric.org.uk/patient/33812769')
@@ -136,7 +219,7 @@ def _coerce(value) -> Label:
 
 
 class LabelSet:
-    """An immutable set of labels with IFC flow composition.
+    """An immutable, interned set of labels with IFC flow composition.
 
     The two composition rules of §4.1 are implemented by :meth:`combine`:
     confidentiality labels are *sticky* (union) and integrity labels are
@@ -144,13 +227,61 @@ class LabelSet:
     ordering used for every clearance check in the middleware.
 
     ``LabelSet`` supports the usual set protocol (iteration, ``in``,
-    ``len``, ``|``, ``-``, comparison) and is hashable.
+    ``len``, ``|``, ``-``, comparison) and is hashable. Instances are
+    canonical: equal sets are the *same* object, the confidentiality and
+    integrity partitions are precomputed frozensets, and the hash is
+    cached at construction.
     """
 
-    __slots__ = ("_labels",)
+    __slots__ = (
+        "_labels",
+        "_confidentiality",
+        "_integrity",
+        "_conf_only",
+        "_hash",
+        "_uris",
+        "__weakref__",
+    )
 
-    def __init__(self, labels: Iterable[Label | str] = ()):
-        self._labels: FrozenSet[Label] = frozenset(_coerce(label) for label in labels)
+    _intern: "weakref.WeakValueDictionary[FrozenSet[Label], LabelSet]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, labels: "LabelSet | Iterable[Label | str]" = ()):
+        if isinstance(labels, LabelSet):
+            return labels
+        frozen = frozenset(
+            label if type(label) is Label else _coerce(label) for label in labels
+        )
+        interned = cls._intern.get(frozen)
+        if interned is not None:
+            return interned
+        return cls._build(frozen)
+
+    @classmethod
+    def _from_frozen(cls, frozen: FrozenSet[Label]) -> "LabelSet":
+        """Internal constructor for pre-coerced frozensets of Labels."""
+        interned = cls._intern.get(frozen)
+        if interned is not None:
+            return interned
+        return cls._build(frozen)
+
+    @classmethod
+    def _build(cls, frozen: FrozenSet[Label]) -> "LabelSet":
+        instance = super().__new__(cls)
+        conf = frozenset(label for label in frozen if label.kind == CONFIDENTIALITY)
+        instance._labels = frozen
+        instance._confidentiality = conf
+        instance._integrity = frozen - conf
+        instance._hash = hash(frozen)
+        instance._uris = None
+        # Fully initialise before publishing so a concurrent reader can
+        # never observe a half-built instance. No recursion risk: when
+        # integrity labels exist, conf != frozen, so _from_frozen(conf)
+        # builds a *different* key; a pure-conf set is its own projection.
+        instance._conf_only = instance if conf == frozen else cls._from_frozen(conf)
+        cls._intern[frozen] = instance
+        return instance
 
     # -- construction ----------------------------------------------------
 
@@ -167,13 +298,13 @@ class LabelSet:
 
     @property
     def confidentiality(self) -> FrozenSet[Label]:
-        """The confidentiality ("sticky") labels in this set."""
-        return frozenset(label for label in self._labels if label.is_confidentiality)
+        """The confidentiality ("sticky") labels in this set (precomputed)."""
+        return self._confidentiality
 
     @property
     def integrity(self) -> FrozenSet[Label]:
-        """The integrity ("fragile") labels in this set."""
-        return frozenset(label for label in self._labels if label.is_integrity)
+        """The integrity ("fragile") labels in this set (precomputed)."""
+        return self._integrity
 
     # -- IFC composition -------------------------------------------------
 
@@ -183,15 +314,25 @@ class LabelSet:
         Confidentiality labels union (a derived value is as secret as
         everything that went into it); integrity labels intersect (a
         derived value is only as trustworthy as its least trusted input).
+
+        Fast paths cover the dominant cases without touching the memo:
+        combining a set with itself is the identity, and combining with
+        the empty set keeps confidentiality while dropping integrity
+        (the precomputed conf-only projection).
         """
-        conf = set(self.confidentiality)
-        integ = set(self.integrity)
+        result = self
         for other in others:
             if not isinstance(other, LabelSet):
                 other = LabelSet(other)
-            conf |= other.confidentiality
-            integ &= other.integrity
-        return LabelSet(conf | integ)
+            if other is result:
+                continue
+            if not other._labels:
+                result = result._conf_only
+            elif not result._labels:
+                result = other._conf_only
+            else:
+                result = _combine2(result, other)
+        return result
 
     def flows_to(self, clearance: "LabelSet | Iterable[Label]") -> bool:
         """True when data with these labels may be released to a principal
@@ -202,13 +343,15 @@ class LabelSet:
         """
         if not isinstance(clearance, LabelSet):
             clearance = LabelSet(clearance)
-        return self.confidentiality <= clearance.confidentiality
+        if not self._confidentiality or clearance is self:
+            return True
+        return _flows2(self, clearance)
 
     def meets_integrity(self, required: "LabelSet | Iterable[Label]") -> bool:
         """True when this data carries every integrity label in *required*."""
         if not isinstance(required, LabelSet):
             required = LabelSet(required)
-        return required.integrity <= self.integrity
+        return required._integrity <= self._integrity
 
     # -- set algebra -------------------------------------------------------
 
@@ -220,7 +363,10 @@ class LabelSet:
         integrity labels *does* — that check lives in the engine, which
         calls this only after verifying endorsement privileges.
         """
-        return LabelSet(self._labels | {_coerce(label) for label in labels})
+        if not labels:
+            return self
+        coerced = {label if type(label) is Label else _coerce(label) for label in labels}
+        return LabelSet._from_frozen(self._labels | coerced)
 
     def remove(self, *labels: Label | str) -> "LabelSet":
         """A new set with *labels* removed (declassification/weakening).
@@ -228,22 +374,37 @@ class LabelSet:
         The privilege check (declassification for confidentiality labels)
         is performed by the caller — the engine or the frontend — not here.
         """
-        return LabelSet(self._labels - {_coerce(label) for label in labels})
+        if not labels or not self._labels:
+            return self
+        coerced = {label if type(label) is Label else _coerce(label) for label in labels}
+        return LabelSet._from_frozen(self._labels - coerced)
 
     def union(self, other: "LabelSet | Iterable[Label]") -> "LabelSet":
         if not isinstance(other, LabelSet):
             other = LabelSet(other)
-        return LabelSet(self._labels | other._labels)
+        if other is self or not other._labels:
+            return self
+        if not self._labels:
+            return other
+        return _union2(self, other)
 
     def difference(self, other: "LabelSet | Iterable[Label]") -> "LabelSet":
         if not isinstance(other, LabelSet):
             other = LabelSet(other)
-        return LabelSet(self._labels - other._labels)
+        if not other._labels or not self._labels:
+            return self
+        if other is self:
+            return _EMPTY
+        return LabelSet._from_frozen(self._labels - other._labels)
 
     def intersection(self, other: "LabelSet | Iterable[Label]") -> "LabelSet":
         if not isinstance(other, LabelSet):
             other = LabelSet(other)
-        return LabelSet(self._labels & other._labels)
+        if other is self:
+            return self
+        if not other._labels or not self._labels:
+            return _EMPTY
+        return LabelSet._from_frozen(self._labels & other._labels)
 
     __or__ = union
     __sub__ = difference
@@ -267,6 +428,9 @@ class LabelSet:
         return bool(self._labels)
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            # Interned: equal sets are the same object.
+            return True
         if isinstance(other, LabelSet):
             return self._labels == other._labels
         if isinstance(other, (set, frozenset)):
@@ -276,26 +440,95 @@ class LabelSet:
     def __le__(self, other: "LabelSet") -> bool:
         if not isinstance(other, LabelSet):
             other = LabelSet(other)
-        return self._labels <= other._labels
+        return other is self or self._labels <= other._labels
 
     def __hash__(self) -> int:
-        return hash(self._labels)
+        return self._hash
 
     def __repr__(self) -> str:
         if not self._labels:
             return "LabelSet()"
-        uris = ", ".join(sorted(label.uri for label in self._labels))
+        uris = ", ".join(self.to_uris())
         return f"LabelSet({{{uris}}})"
+
+    def __reduce__(self):
+        # Re-intern on unpickle; Labels re-intern through their own reduce.
+        return (LabelSet, (tuple(self._labels),))
+
+    def __copy__(self) -> "LabelSet":
+        return self
+
+    def __deepcopy__(self, memo) -> "LabelSet":
+        return self
 
     # -- serialisation -----------------------------------------------------
 
     def to_uris(self) -> list[str]:
         """A sorted list of label URIs, the wire representation."""
-        return sorted(label.uri for label in self._labels)
+        uris = self._uris
+        if uris is None:
+            uris = tuple(sorted(label._uri for label in self._labels))
+            self._uris = uris
+        return list(uris)
 
     @classmethod
     def from_uris(cls, uris: Iterable[str]) -> "LabelSet":
-        return cls(parse_label(uri) for uri in uris)
+        return _set_from_uris(tuple(uris))
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _combine2(a: LabelSet, b: LabelSet) -> LabelSet:
+    """Memoized binary §4.1 combination of two interned, non-empty sets."""
+    return LabelSet._from_frozen(
+        a._confidentiality | b._confidentiality | (a._integrity & b._integrity)
+    )
+
+
+def combine_pair(a: LabelSet, b: LabelSet) -> LabelSet:
+    """Binary §4.1 combination with the identity fast paths exposed.
+
+    The taint layer's derive pipeline folds through this directly: the
+    dominant shapes (same interned set twice, labeled-with-plain) resolve
+    without touching the memo or allocating.
+    """
+    if a is b:
+        return a
+    if not b._labels:
+        return a._conf_only
+    if not a._labels:
+        return b._conf_only
+    return _combine2(a, b)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _union2(a: LabelSet, b: LabelSet) -> LabelSet:
+    return LabelSet._from_frozen(a._labels | b._labels)
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _flows2(a: LabelSet, clearance: LabelSet) -> bool:
+    return a._confidentiality <= clearance._confidentiality
+
+
+@lru_cache(maxsize=4096)
+def _set_from_uris(uris: Tuple[str, ...]) -> LabelSet:
+    return LabelSet(parse_label(uri) for uri in uris)
 
 
 _EMPTY = LabelSet()
+
+#: The canonical empty label set — safe to ``is``-check anywhere.
+EMPTY_LABELS = _EMPTY
+
+
+def lattice_stats() -> dict:
+    """Observability: intern-table sizes and operator-memo hit rates."""
+    return {
+        "labels_interned": len(Label._intern),
+        "label_sets_interned": len(LabelSet._intern),
+        "combine_memo": _combine2.cache_info()._asdict(),
+        "union_memo": _union2.cache_info()._asdict(),
+        "flows_memo": _flows2.cache_info()._asdict(),
+        "parse_cache": parse_label.cache_info()._asdict(),
+        "from_uris_cache": _set_from_uris.cache_info()._asdict(),
+    }

@@ -43,7 +43,11 @@ class Event:
         object.__setattr__(self, "attributes", coerced)
         object.__setattr__(self, "payload", None if payload is None else str(payload))
         if not isinstance(labels, LabelSet):
-            labels = LabelSet(labels)
+            # Interned constructor: an empty iterable resolves to the
+            # canonical empty set, a repeated label vocabulary to the
+            # same canonical instances — event creation allocates no
+            # per-event label state on the hot publish path.
+            labels = LabelSet(labels) if labels else LabelSet.empty()
         object.__setattr__(self, "labels", labels)
         object.__setattr__(self, "event_id", event_id if event_id is not None else next(_event_ids))
         object.__setattr__(self, "timestamp", timestamp if timestamp is not None else time.time())
@@ -93,9 +97,11 @@ class Event:
             return NotImplemented
         return (
             self.topic == other.topic
+            # Interned label sets compare by identity first, so checking
+            # labels before the attribute dict is the cheap order.
+            and self.labels == other.labels
             and self.attributes == other.attributes
             and self.payload == other.payload
-            and self.labels == other.labels
         )
 
     def __hash__(self) -> int:

@@ -57,11 +57,16 @@ class ViewRow:
     value: Any
 
 
-def _next_rev(current: Optional[str], body: Any) -> str:
+def _next_rev(current: Optional[str], canonical_body: str) -> str:
+    """Next MVCC revision from the canonical JSON text of the body.
+
+    Callers pass the already-serialised body so validation and digesting
+    share a single ``json.dumps`` per write.
+    """
     generation = 0
     if current:
         generation = int(current.split("-", 1)[0])
-    digest = hashlib.md5(json.dumps(body, sort_keys=True, default=str).encode()).hexdigest()[:16]
+    digest = hashlib.md5(canonical_body.encode()).hexdigest()[:16]
     return f"{generation + 1}-{digest}"
 
 
@@ -94,7 +99,10 @@ class Database:
         presented_rev = document.get("_rev")
         body = {k: v for k, v in document.items() if k not in ("_id", "_rev")}
         plain, sidecar = json_codec.encode_document(body)
-        json.dumps(plain)  # eager validation: storable JSON only
+        # One serialisation doubles as eager storable-JSON validation and
+        # the revision digest input (identical digests to the former
+        # two-dump flow for every storable document).
+        canonical = json.dumps(plain, sort_keys=True)
 
         with self._lock:
             existing = self._documents.get(doc_id)
@@ -105,13 +113,13 @@ class Database:
                         doc_id=doc_id,
                         current_rev=existing.rev,
                     )
-                rev = _next_rev(existing.rev, plain)
+                rev = _next_rev(existing.rev, canonical)
             else:
                 if presented_rev is not None and existing is None:
                     raise DocumentConflict(
                         f"document {doc_id!r} does not exist", doc_id=doc_id
                     )
-                rev = _next_rev(existing.rev if existing else None, plain)
+                rev = _next_rev(existing.rev if existing else None, canonical)
             stored = _StoredDocument(doc_id, rev, plain, sidecar)
             self._documents[doc_id] = stored
             self._record_change(stored)
@@ -128,7 +136,7 @@ class Database:
                 raise DocumentConflict(
                     f"revision mismatch for {doc_id!r}", doc_id=doc_id, current_rev=existing.rev
                 )
-            tombstone_rev = _next_rev(existing.rev, None)
+            tombstone_rev = _next_rev(existing.rev, json.dumps(None))
             stored = _StoredDocument(doc_id, tombstone_rev, None, {}, deleted=True)
             self._documents[doc_id] = stored
             self._record_change(stored)

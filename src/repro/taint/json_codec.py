@@ -15,6 +15,14 @@ Two distinct needs in the middleware:
    RFC 6901 JSON pointers → label URIs; :func:`decode_document` re-labels
    on the way out. The document store uses this pair so the frontend
    transparently receives labeled values (§4.4 step 2).
+
+Both directions are **single-pass**. ``dumps`` fuses the strip and the
+label fold into one traversal of the object graph; ``encode_document``
+collects the sidecar while stripping; ``decode_document`` compiles the
+sidecar into a pointer trie and re-labels the whole document in one walk
+instead of one full rebuild per pointer. The results are byte- and
+label-identical to the original two-pass implementations (see
+``tests/unit/taint/test_json_singlepass.py``).
 """
 
 from __future__ import annotations
@@ -22,9 +30,51 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Tuple
 
-from repro.core.labels import LabelSet
-from repro.taint.labeled import is_labeled, labels_of, strip_labels, with_labels
+from repro.core.labels import EMPTY_LABELS, LabelSet
+from repro.taint.labeled import (
+    LABELS_ATTR,
+    PLAIN_TYPES,
+    labels_of,
+    plain_scalar,
+    strip_labels,
+    with_labels,
+)
 from repro.taint.string import LabeledStr, derive
+
+
+def _strip_collect(value: Any) -> Tuple[Any, LabelSet]:
+    """One traversal returning (plain deep copy, combined label set).
+
+    The label fold follows the same §4.1 container rule as
+    :func:`~repro.taint.labeled.labels_of`: confidentiality unions over
+    every key and value, integrity intersects — so the pair returned is
+    exactly ``(strip_labels(value), labels_of(value))`` from one walk.
+    """
+    if type(value) in PLAIN_TYPES:
+        return value, EMPTY_LABELS
+    direct = getattr(value, LABELS_ATTR, None)
+    if direct is not None:
+        return plain_scalar(value), direct
+    if isinstance(value, dict):
+        labels = None
+        plain: Dict[Any, Any] = {}
+        for key, item in value.items():
+            plain_key, key_labels = _strip_collect(key)
+            plain_item, item_labels = _strip_collect(item)
+            plain[plain_key] = plain_item
+            labels = key_labels if labels is None else labels.combine(key_labels)
+            labels = labels.combine(item_labels)
+        return plain, (EMPTY_LABELS if labels is None else labels)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        labels = None
+        items = []
+        for item in value:
+            plain_item, item_labels = _strip_collect(item)
+            items.append(plain_item)
+            labels = item_labels if labels is None else labels.combine(item_labels)
+        rebuilt = items if type(value) is list else type(value)(items)
+        return rebuilt, (EMPTY_LABELS if labels is None else labels)
+    return value, EMPTY_LABELS
 
 
 def dumps(value: Any, **kwargs) -> LabeledStr:
@@ -32,10 +82,11 @@ def dumps(value: Any, **kwargs) -> LabeledStr:
 
     The result carries the IFC combination of every label in *value*, so
     downstream checks treat the serialised form as confidential as its
-    most confidential field.
+    most confidential field. Strip and label fold share one traversal.
     """
-    text = json.dumps(strip_labels(value), **kwargs)
-    return LabeledStr(text, labels=labels_of(value), user_taint=False)
+    plain, labels = _strip_collect(value)
+    text = json.dumps(plain, **kwargs)
+    return LabeledStr(text, labels=labels, user_taint=False)
 
 
 def loads(text: Any, **kwargs) -> Any:
@@ -66,35 +117,65 @@ def encode_document(document: Any) -> Tuple[Any, Dict[str, List[str]]]:
     """Split a labeled document into (plain document, pointer → label URIs).
 
     Only leaves with non-empty label sets appear in the sidecar, keeping
-    stored documents compact for mostly-public data.
+    stored documents compact for mostly-public data. The strip and the
+    sidecar collection run in a single traversal of the document.
     """
     sidecar: Dict[str, List[str]] = {}
-    _collect_labels(document, "", sidecar)
-    return strip_labels(document), sidecar
+    plain = _strip_with_pointers(document, "", sidecar)
+    return plain, sidecar
 
 
-def _collect_labels(value: Any, pointer: str, sidecar: Dict[str, List[str]]) -> None:
-    if is_labeled(value):
-        labels = labels_of(value)
-        if labels:
-            sidecar[pointer or ""] = labels.to_uris()
-        return
+def _strip_with_pointers(value: Any, pointer: str, sidecar: Dict[str, List[str]]) -> Any:
+    if type(value) in PLAIN_TYPES:
+        return value
+    direct = getattr(value, LABELS_ATTR, None)
+    if direct is not None:
+        if direct:
+            sidecar[pointer or ""] = direct.to_uris()
+        return plain_scalar(value)
     if isinstance(value, dict):
-        for key, item in value.items():
-            _collect_labels(item, f"{pointer}/{_escape_pointer_token(str(key))}", sidecar)
-        return
+        return {
+            strip_labels(key): _strip_with_pointers(
+                item, f"{pointer}/{_escape_pointer_token(str(key))}", sidecar
+            )
+            for key, item in value.items()
+        }
     if isinstance(value, (list, tuple)):
-        for index, item in enumerate(value):
-            _collect_labels(item, f"{pointer}/{index}", sidecar)
+        rebuilt = [
+            _strip_with_pointers(item, f"{pointer}/{index}", sidecar)
+            for index, item in enumerate(value)
+        ]
+        return rebuilt if type(value) is list else type(value)(rebuilt)
+    if isinstance(value, (set, frozenset)):
+        # Unordered: no stable pointers exist, so labels inside sets are
+        # stripped without sidecar entries (matching the two-pass
+        # behaviour; JSON cannot store sets anyway).
+        return type(value)(strip_labels(item) for item in value)
+    return value
+
+
+#: Sentinel key marking "labels apply at this trie node"; tokens are
+#: strings, so an object() can never collide.
+_APPLY = object()
 
 
 def decode_document(document: Any, sidecar: Dict[str, List[str]]) -> Any:
-    """Re-attach labels recorded by :func:`encode_document`."""
-    result = document
+    """Re-attach labels recorded by :func:`encode_document`.
+
+    The sidecar is compiled into a pointer trie and applied in a single
+    walk: each container along any labeled path is copied exactly once,
+    instead of once per pointer as the naive fold did. Stale pointers
+    (fields removed since encoding) are skipped, like before.
+    """
+    if not sidecar:
+        return document
+    trie: Dict[Any, Any] = {}
     for pointer, uris in sidecar.items():
-        labels = LabelSet.from_uris(uris)
-        result = _apply_labels(result, _parse_pointer(pointer), labels)
-    return result
+        node = trie
+        for token in _parse_pointer(pointer):
+            node = node.setdefault(token, {})
+        node[_APPLY] = LabelSet.from_uris(uris)
+    return _apply_trie(document, trie)
 
 
 def _parse_pointer(pointer: str) -> List[str]:
@@ -105,23 +186,36 @@ def _parse_pointer(pointer: str) -> List[str]:
     return [_unescape_pointer_token(token) for token in pointer.split("/")[1:]]
 
 
-def _apply_labels(value: Any, path: List[str], labels: LabelSet) -> Any:
-    if not path:
-        return with_labels(value, labels_of(value).union(labels))
-    head, rest = path[0], path[1:]
-    if isinstance(value, dict):
-        if head not in value:
-            return value  # stale pointer: sidecar refers to a removed field
-        updated = dict(value)
-        updated[head] = _apply_labels(value[head], rest, labels)
-        return updated
-    if isinstance(value, list):
-        index = int(head)
-        if index >= len(value):
+def _apply_trie(value: Any, node: Dict[Any, Any]) -> Any:
+    labels = node.get(_APPLY)
+    if labels is not None:
+        value = with_labels(value, labels_of(value).union(labels))
+        if len(node) == 1:
             return value
-        updated_list = list(value)
-        updated_list[index] = _apply_labels(value[index], rest, labels)
-        return updated_list
+    if isinstance(value, dict):
+        updated = None
+        for token, child in node.items():
+            if token is _APPLY or token not in value:
+                continue
+            if updated is None:
+                updated = dict(value)
+            updated[token] = _apply_trie(value[token], child)
+        return value if updated is None else updated
+    if isinstance(value, list):
+        updated_list = None
+        for token, child in node.items():
+            if token is _APPLY:
+                continue
+            index = int(token)
+            if index >= len(value):
+                continue
+            if updated_list is None:
+                updated_list = list(value)
+            # Read from the evolving copy, not the original: distinct
+            # tokens can alias one index ("0" vs "00"), and their labels
+            # must union like the seed's sequential application did.
+            updated_list[index] = _apply_trie(updated_list[index], child)
+        return value if updated_list is None else updated_list
     return value
 
 

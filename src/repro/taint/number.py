@@ -30,6 +30,11 @@ from repro.core.labels import LabelSet
 from repro.taint.labeled import LABELS_ATTR, TAINT_ATTR
 from repro.taint.string import LabeledStr, derive
 
+# Constructors below store the attribute names as literals (see the
+# matching guard in taint/string.py, which imports before this module).
+if LABELS_ATTR != "_safeweb_labels" or TAINT_ATTR != "_safeweb_user_taint":  # pragma: no cover
+    raise AssertionError("labeled attribute constants diverged from literal slot stores")
+
 
 def _plain_int(value: int) -> int:
     """An exact ``int`` copy of an int subclass instance."""
@@ -51,11 +56,12 @@ class LabeledInt(int):
     __safeweb_labeled__ = True
 
     def __new__(cls, value=0, labels: LabelSet | Iterable = (), user_taint: bool = False):
-        instance = super().__new__(cls, value)
-        if not isinstance(labels, LabelSet):
+        instance = int.__new__(cls, value)
+        if type(labels) is not LabelSet:
             labels = LabelSet(labels)
-        setattr(instance, LABELS_ATTR, labels)
-        setattr(instance, TAINT_ATTR, bool(user_taint))
+        # Literal stores of LABELS_ATTR / TAINT_ATTR (hot constructor).
+        instance._safeweb_labels = labels
+        instance._safeweb_user_taint = True if user_taint else False
         return instance
 
     @property
@@ -204,11 +210,11 @@ class LabeledFloat(float):
     __safeweb_labeled__ = True
 
     def __new__(cls, value=0.0, labels: LabelSet | Iterable = (), user_taint: bool = False):
-        instance = super().__new__(cls, value)
-        if not isinstance(labels, LabelSet):
+        instance = float.__new__(cls, value)
+        if type(labels) is not LabelSet:
             labels = LabelSet(labels)
-        setattr(instance, LABELS_ATTR, labels)
-        setattr(instance, TAINT_ATTR, bool(user_taint))
+        instance._safeweb_labels = labels
+        instance._safeweb_user_taint = True if user_taint else False
         return instance
 
     @property

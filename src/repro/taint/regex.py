@@ -15,9 +15,29 @@ The module mirrors the subset of :mod:`re` web applications use —
 from __future__ import annotations
 
 import re as _re
+from functools import lru_cache
 from typing import Any, Callable, Iterator
 
+from repro.taint.labeled import is_labeled, plain_scalar
 from repro.taint.string import derive
+
+
+@lru_cache(maxsize=512)
+def _compile_cached(pattern, flags: int):
+    """Compile cache keyed by (pattern text, flags).
+
+    The module-level helpers construct a fresh :class:`LabeledPattern`
+    per call, so without this cache every labeled match recompiled its
+    regex. Labeled pattern strings are reduced to their exact plain
+    form first so a labeled and a plain spelling of the same pattern
+    share one compiled object (label propagation uses the original
+    pattern object, which each ``LabeledPattern`` keeps separately).
+    """
+    return _re.compile(pattern, flags)
+
+
+def _plain_pattern(pattern):
+    return plain_scalar(pattern) if is_labeled(pattern) else pattern
 
 
 class LabeledMatch:
@@ -87,7 +107,7 @@ class LabeledPattern:
             self._pattern = pattern._pattern
             self._pattern_source = pattern._pattern_source
         else:
-            self._pattern = _re.compile(pattern, flags)
+            self._pattern = _compile_cached(_plain_pattern(pattern), flags)
             self._pattern_source = pattern
 
     @property

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.labels import EMPTY_LABELS
 from repro.exceptions import SafeWebError
-from repro.taint.labeled import is_user_tainted, labels_of, with_labels
+from repro.taint.labeled import LABELS_ATTR, is_user_tainted, labels_of, with_labels
 from repro.taint.string import LabeledStr, ensure_labeled_str
 
 _HTML_REPLACEMENTS = (
@@ -65,11 +66,20 @@ def html_escape(value: Any) -> LabeledStr:
     *injection*, not against *disclosure*; the response-time label check
     still applies.
     """
-    text = ensure_labeled_str(value)
-    escaped = str.__getitem__(text, slice(None))  # plain copy to transform
+    if isinstance(value, str):
+        labels = getattr(value, LABELS_ATTR, None)
+        if labels is None:
+            labels = EMPTY_LABELS
+            escaped = value
+        else:
+            escaped = str.__getitem__(value, slice(None))  # plain copy to transform
+    else:
+        text = ensure_labeled_str(value)
+        labels = text.labels
+        escaped = text.plain
     for raw, entity in _HTML_REPLACEMENTS:
         escaped = escaped.replace(raw, entity)
-    return LabeledStr(escaped, labels=text.labels, user_taint=False)
+    return LabeledStr(escaped, labels=labels, user_taint=False)
 
 
 def sql_quote(value: Any) -> LabeledStr:

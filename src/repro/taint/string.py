@@ -18,16 +18,43 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
-from repro.core.labels import LabelSet
-from repro.taint.labeled import LABELS_ATTR, TAINT_ATTR, combine_sources, labels_of
+from repro.core.labels import EMPTY_LABELS, LabelSet, combine_pair
+from repro.taint.labeled import (
+    LABELS_ATTR,
+    PLAIN_TYPES,
+    TAINT_ATTR,
+    combine_sources,
+    labels_of,
+)
+
+# The hot constructors in this module (and taint/number.py) store these
+# as *literal* slot names for speed; pin the constants so a rename in
+# taint/labeled.py breaks loudly at import time instead of silently
+# reading every labeled value as unlabeled.
+if LABELS_ATTR != "_safeweb_labels" or TAINT_ATTR != "_safeweb_user_taint":  # pragma: no cover
+    raise AssertionError("labeled attribute constants diverged from literal slot stores")
 
 
 def _wrap(result: Any, labels: LabelSet, taint: bool) -> Any:
-    """Wrap an operation result in its labeled counterpart."""
+    """Wrap an operation result in its labeled counterpart.
+
+    Exact-type dispatch first: base operations on labeled strings and
+    numbers return exact built-ins, so ``type(result) is str`` is the
+    overwhelmingly common case and skips the isinstance ladder.
+    """
     from repro.taint.number import LabeledFloat, LabeledInt
 
-    if result is None or isinstance(result, bool):
+    tp = type(result)
+    if tp is str:
+        return LabeledStr(result, labels, taint)
+    if result is None or tp is bool:
         return result
+    if tp is bytes:
+        return LabeledBytes(result, labels, taint)
+    if tp is int:
+        return LabeledInt(result, labels, taint)
+    if tp is float:
+        return LabeledFloat(result, labels, taint)
     if isinstance(result, str):
         return LabeledStr(result, labels=labels, user_taint=taint)
     if isinstance(result, bytes):
@@ -52,7 +79,42 @@ def derive(result: Any, *sources: Any) -> Any:
     untainted, the plain result is returned as-is — an empty label set
     carries no policy, so skipping the wrapper changes nothing
     observable and keeps unlabeled fast paths cheap.
+
+    Allocation-free fast paths cover the dominant call shapes — one or
+    two scalar sources (plain or labeled): the interned label sets fold
+    through :func:`~repro.core.labels.combine_pair` identity shortcuts,
+    so a labeled-plus-plain concatenation reuses existing sets outright.
     """
+    n = len(sources)
+    if n == 1:
+        source = sources[0]
+        if type(source) in PLAIN_TYPES:
+            return result
+        labels = getattr(source, LABELS_ATTR, None)
+        if labels is not None:
+            taint = getattr(source, TAINT_ATTR, False)
+            if not labels and not taint:
+                return result
+            return _wrap(result, labels, taint)
+    elif n == 2:
+        a, b = sources
+        a_plain = type(a) in PLAIN_TYPES
+        la = EMPTY_LABELS if a_plain else getattr(a, LABELS_ATTR, None)
+        if la is not None:
+            b_plain = type(b) in PLAIN_TYPES
+            lb = EMPTY_LABELS if b_plain else getattr(b, LABELS_ATTR, None)
+            if lb is not None:
+                # Both operands are scalars; containers fall through to
+                # the generic recursive combination below. A labeled
+                # scalar can carry the empty set yet still be tainted,
+                # so the taint probe keys on plain-ness, not on labels.
+                taint = (not a_plain and getattr(a, TAINT_ATTR, False)) or (
+                    not b_plain and getattr(b, TAINT_ATTR, False)
+                )
+                labels = combine_pair(la, lb)
+                if not labels and not taint:
+                    return result
+                return _wrap(result, labels, taint)
     labels, taint = combine_sources(*sources)
     if not labels and not taint:
         return result
@@ -75,11 +137,14 @@ class LabeledStr(str):
     __safeweb_labeled__ = True
 
     def __new__(cls, value: str = "", labels: LabelSet | Iterable = (), user_taint: bool = False):
-        instance = super().__new__(cls, value)
-        if not isinstance(labels, LabelSet):
+        instance = str.__new__(cls, value)
+        if type(labels) is not LabelSet:
             labels = LabelSet(labels)
-        setattr(instance, LABELS_ATTR, labels)
-        setattr(instance, TAINT_ATTR, bool(user_taint))
+        # Literal slot stores (the attribute names are LABELS_ATTR /
+        # TAINT_ATTR): this constructor runs once per labeled string
+        # operation, so it avoids setattr() and bool() call overhead.
+        instance._safeweb_labels = labels
+        instance._safeweb_user_taint = True if user_taint else False
         return instance
 
     # -- introspection -----------------------------------------------------
@@ -246,11 +311,11 @@ class LabeledBytes(bytes):
     __safeweb_labeled__ = True
 
     def __new__(cls, value: bytes = b"", labels: LabelSet | Iterable = (), user_taint: bool = False):
-        instance = super().__new__(cls, value)
-        if not isinstance(labels, LabelSet):
+        instance = bytes.__new__(cls, value)
+        if type(labels) is not LabelSet:
             labels = LabelSet(labels)
-        setattr(instance, LABELS_ATTR, labels)
-        setattr(instance, TAINT_ATTR, bool(user_taint))
+        instance._safeweb_labels = labels
+        instance._safeweb_user_taint = True if user_taint else False
         return instance
 
     @property

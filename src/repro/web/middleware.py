@@ -114,6 +114,9 @@ class SafeWebMiddleware:
 
     def _check_labels(self, request: Request, response: Response) -> None:
         labels = response.labels
+        # Interned lattice: the confidentiality partition is a
+        # precomputed frozenset, so the common all-public response
+        # exits on a single attribute read.
         if not labels.confidentiality:
             return
         principal = request.user

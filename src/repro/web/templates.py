@@ -123,7 +123,12 @@ class Template:
                 parts.append(ensure_labeled_str(value))
 
         def emit_raw(value: Any) -> None:
-            parts.append(ensure_labeled_str(value))
+            # Strings (labeled or plain) go in as-is: the final label fold
+            # reads them directly, so the extra wrapper the old code paid
+            # per interpolation is pure overhead. Non-strings keep the
+            # ensure_labeled_str coercion (which also fixes their taint
+            # semantics at the point of stringification).
+            parts.append(value if isinstance(value, str) else ensure_labeled_str(value))
 
         namespace: Dict[str, Any] = dict(context or {})
         namespace.update(kwargs)
@@ -138,7 +143,12 @@ class Template:
 
         labels, taint = combine_sources(*parts)
         plain = "".join(
-            part.plain if isinstance(part, LabeledStr) else str(part) for part in parts
+            [
+                part if type(part) is str
+                else part.plain if isinstance(part, LabeledStr)
+                else str(part)
+                for part in parts
+            ]
         )
         return LabeledStr(plain, labels=labels, user_taint=taint)
 

@@ -1,0 +1,142 @@
+"""Property tests: the interned lattice is the seed lattice, exactly.
+
+The interned/hash-consed :class:`~repro.core.labels.LabelSet` replaces a
+naive implementation that recomputed partitions per call and allocated a
+fresh set per combination. These properties pin the refactor to the seed
+reference semantics: every operator is re-derived here from first
+principles (union-conf / intersect-int / sticky taint, §4.1) with plain
+frozensets and compared against the memoized, fast-pathed implementation.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.labels import CONFIDENTIALITY, LabelSet, parse_label
+
+from tests.property.strategies import label_sets, labels
+
+
+def _conf(label_set: LabelSet) -> frozenset:
+    """Reference partition: generator scan, like the seed property."""
+    return frozenset(label for label in label_set if label.kind == CONFIDENTIALITY)
+
+
+def _int(label_set: LabelSet) -> frozenset:
+    return frozenset(label for label in label_set if label.kind != CONFIDENTIALITY)
+
+
+def _reference_combine(*sets: LabelSet) -> frozenset:
+    """The seed combine: conf union, integrity intersection, as frozensets."""
+    conf = set(_conf(sets[0]))
+    integ = set(_int(sets[0]))
+    for other in sets[1:]:
+        conf |= _conf(other)
+        integ &= _int(other)
+    return frozenset(conf | integ)
+
+
+class TestReferenceSemantics:
+    @given(label_sets(), label_sets())
+    def test_combine_matches_reference(self, a, b):
+        assert frozenset(a.combine(b)) == _reference_combine(a, b)
+
+    @given(label_sets(), label_sets(), label_sets())
+    def test_variadic_combine_matches_reference(self, a, b, c):
+        assert frozenset(a.combine(b, c)) == _reference_combine(a, b, c)
+
+    @given(label_sets(), label_sets())
+    def test_flows_to_matches_reference(self, a, clearance):
+        assert a.flows_to(clearance) == (_conf(a) <= _conf(clearance))
+
+    @given(label_sets(), label_sets())
+    def test_meets_integrity_matches_reference(self, a, required):
+        assert a.meets_integrity(required) == (_int(required) <= _int(a))
+
+    @given(label_sets())
+    def test_partitions_match_generator_scan(self, a):
+        """The precomputed partitions equal the seed's per-call scans."""
+        assert a.confidentiality == _conf(a)
+        assert a.integrity == _int(a)
+        assert a.confidentiality | a.integrity == frozenset(a)
+        assert not (a.confidentiality & a.integrity)
+
+    @given(label_sets(), label_sets())
+    def test_set_algebra_matches_frozensets(self, a, b):
+        assert frozenset(a | b) == frozenset(a) | frozenset(b)
+        assert frozenset(a - b) == frozenset(a) - frozenset(b)
+        assert frozenset(a & b) == frozenset(a) & frozenset(b)
+
+    @given(label_sets(), labels())
+    def test_add_remove_match_frozensets(self, a, one):
+        assert frozenset(a.add(one)) == frozenset(a) | {one}
+        assert frozenset(a.remove(one)) == frozenset(a) - {one}
+
+
+class TestInterningInvariants:
+    @given(label_sets())
+    def test_equal_sets_are_identical(self, a):
+        """Hash-consing: rebuilding the same set yields the same object."""
+        rebuilt = LabelSet(list(a))
+        assert rebuilt is a
+        assert LabelSet(a) is a
+
+    @given(label_sets())
+    def test_from_uris_is_canonical(self, a):
+        assert LabelSet.from_uris(a.to_uris()) is a
+
+    @given(labels())
+    def test_labels_are_canonical(self, one):
+        assert parse_label(one.uri) is one
+
+    def test_empty_is_a_singleton(self):
+        assert LabelSet() is LabelSet.empty()
+        assert LabelSet([]) is LabelSet.empty()
+        assert LabelSet.from_uris([]) is LabelSet.empty()
+
+    @given(label_sets(), label_sets())
+    def test_combine_returns_canonical_instance(self, a, b):
+        combined = a.combine(b)
+        assert LabelSet(frozenset(combined)) is combined
+
+    @given(label_sets())
+    def test_hash_matches_frozenset_hash(self, a):
+        """The cached hash is the seed hash (hash of the label frozenset)."""
+        assert hash(a) == hash(frozenset(a))
+
+    @given(label_sets())
+    def test_combine_with_empty_drops_integrity_only(self, a):
+        combined = a.combine(LabelSet.empty())
+        assert combined.confidentiality == a.confidentiality
+        assert combined.integrity == frozenset()
+        if not a.integrity:
+            assert combined is a
+
+    @given(label_sets())
+    def test_memoized_combine_is_stable(self, a):
+        """Repeated combination returns the identical canonical result."""
+        first = a.combine(a)
+        second = a.combine(a)
+        assert first is second is a
+
+
+class TestTaintComposition:
+    """combine_sources must stay the §4.1 fold plus sticky taint."""
+
+    @given(st.lists(label_sets(), min_size=1, max_size=4))
+    def test_combine_sources_matches_reference(self, sets):
+        from repro.taint.labeled import combine_sources, with_labels
+
+        values = [
+            with_labels(f"v{index}", label_set) for index, label_set in enumerate(sets)
+        ]
+        combined, taint = combine_sources(*values)
+        assert frozenset(combined) == _reference_combine(*sets)
+        assert taint is False
+
+    @given(label_sets(), st.booleans())
+    def test_combine_sources_taint_is_sticky(self, a, tainted):
+        from repro.taint.labeled import combine_sources, with_labels
+
+        value = with_labels("x", a, user_taint=tainted)
+        _, taint = combine_sources(value, "plain")
+        assert taint == tainted

@@ -1,0 +1,89 @@
+"""Unit tests for the hash-consed label lattice plumbing."""
+
+import copy
+import pickle
+
+from repro.core.labels import (
+    EMPTY_LABELS,
+    Label,
+    LabelSet,
+    combine_pair,
+    conf_label,
+    int_label,
+    lattice_stats,
+    parse_label,
+)
+
+MDT = conf_label("ecric.org.uk", "mdt", "1")
+TRUSTED = int_label("ecric.org.uk", "mdt")
+
+
+class TestLabelInterning:
+    def test_same_construction_is_identical(self):
+        assert conf_label("ecric.org.uk", "mdt", "1") is MDT
+        assert Label("conf", "ecric.org.uk", ("mdt", "1")) is MDT
+        assert Label("conf", "ecric.org.uk", ["mdt", "1"]) is MDT
+
+    def test_parse_label_is_cached_and_canonical(self):
+        before = parse_label.cache_info().hits
+        assert parse_label(MDT.uri) is MDT
+        assert parse_label(MDT.uri) is MDT
+        assert parse_label.cache_info().hits > before
+
+    def test_copy_and_pickle_preserve_identity(self):
+        assert copy.copy(MDT) is MDT
+        assert copy.deepcopy({"k": MDT})["k"] is MDT
+        assert pickle.loads(pickle.dumps(MDT)) is MDT
+
+    def test_labels_stay_immutable(self):
+        try:
+            MDT.kind = "int"
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - would be a security bug
+            raise AssertionError("Label attributes must be immutable")
+
+    def test_uri_precomputed(self):
+        assert MDT.uri == "label:conf:ecric.org.uk/mdt/1"
+        assert str(MDT) == MDT.uri
+
+
+class TestLabelSetInterning:
+    def test_empty_singleton(self):
+        assert LabelSet() is EMPTY_LABELS
+        assert LabelSet.empty() is EMPTY_LABELS
+        assert LabelSet(()) is EMPTY_LABELS
+
+    def test_constructor_is_canonical(self):
+        assert LabelSet([MDT, TRUSTED]) is LabelSet([TRUSTED, MDT])
+        assert LabelSet(LabelSet([MDT])) is LabelSet([MDT])
+        assert LabelSet([MDT.uri]) is LabelSet([MDT])
+
+    def test_copy_and_pickle_preserve_identity(self):
+        labels = LabelSet([MDT, TRUSTED])
+        assert copy.copy(labels) is labels
+        assert copy.deepcopy([labels])[0] is labels
+        assert pickle.loads(pickle.dumps(labels)) is labels
+
+    def test_combine_pair_fast_paths(self):
+        labels = LabelSet([MDT])
+        both = LabelSet([MDT, TRUSTED])
+        assert combine_pair(labels, labels) is labels
+        # conf-only set survives combination with the empty set…
+        assert combine_pair(labels, EMPTY_LABELS) is labels
+        assert combine_pair(EMPTY_LABELS, labels) is labels
+        # …while an integrity-carrying set drops to its conf projection.
+        assert combine_pair(both, EMPTY_LABELS) is labels
+        assert combine_pair(both, labels) is labels
+
+    def test_to_uris_returns_fresh_list(self):
+        labels = LabelSet([MDT, TRUSTED])
+        first = labels.to_uris()
+        first.append("garbage")
+        assert "garbage" not in labels.to_uris()
+
+    def test_lattice_stats_shape(self):
+        stats = lattice_stats()
+        assert stats["labels_interned"] >= 2
+        assert stats["label_sets_interned"] >= 1
+        assert {"hits", "misses", "maxsize", "currsize"} <= set(stats["combine_memo"])

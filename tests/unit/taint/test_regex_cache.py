@@ -1,0 +1,44 @@
+"""The labeled regex layer must reuse compiled patterns across calls."""
+
+from repro.core.labels import LabelSet, conf_label
+from repro.taint import regex
+from repro.taint.regex import _compile_cached
+from repro.taint.string import LabeledStr
+
+MDT_SET = LabelSet([conf_label("ecric.org.uk", "mdt", "1")])
+
+
+class TestCompileCache:
+    def test_module_level_calls_share_compiled_pattern(self):
+        first = regex.compile(r"cache-test-(\d+)")
+        second = regex.compile(r"cache-test-(\d+)")
+        assert first._pattern is second._pattern
+
+    def test_flags_are_part_of_the_key(self):
+        plain = regex.compile(r"cache-flag-x")
+        insensitive = regex.compile(r"cache-flag-x", regex.IGNORECASE)
+        assert plain._pattern is not insensitive._pattern
+        assert insensitive.match("CACHE-FLAG-X") is not None
+
+    def test_labeled_and_plain_pattern_share_compilation(self):
+        labeled_pattern = LabeledStr(r"cache-shared-(\w+)", labels=MDT_SET)
+        labeled = regex.compile(labeled_pattern)
+        plain = regex.compile(r"cache-shared-(\w+)")
+        assert labeled._pattern is plain._pattern
+
+    def test_labeled_pattern_still_propagates_labels(self):
+        labeled_pattern = LabeledStr(r"(\w+)", labels=MDT_SET)
+        # Warm the cache with the plain spelling first, then match with
+        # the labeled one: the pattern's labels must still flow.
+        regex.compile(r"(\w+)")
+        match = regex.match(labeled_pattern, "subject")
+        assert match is not None
+        group = match.group(1)
+        assert group == "subject"
+        assert group.labels == MDT_SET
+
+    def test_cache_hit_counter_moves(self):
+        before = _compile_cached.cache_info().hits
+        regex.search(r"cache-counter-(\d)", "cache-counter-1")
+        regex.search(r"cache-counter-(\d)", "cache-counter-2")
+        assert _compile_cached.cache_info().hits > before
