@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-unit bench-smoke bench-broker bench-taint bench
+.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench docs-check
+
+## Show every target with its description.
+help:
+	@awk '/^## /{desc=substr($$0,4); next} /^[A-Za-z0-9_.-]+:/{if (desc) printf "  %-14s %s\n", substr($$1,1,length($$1)-1), desc; desc=""}' $(MAKEFILE_LIST)
 
 ## Tier-1: the full suite (unit + property + integration + benchmark smoke).
-test:
+test: docs-check
 	$(PYTHON) -m pytest -x -q
 
 ## Fast feedback: unit and property tests only.
@@ -22,6 +26,14 @@ bench-broker:
 ## Taint perf snapshot: appends A2/E2 results to BENCH_taint.json.
 bench-taint:
 	$(PYTHON) scripts/bench_taint.py
+
+## Storage perf snapshot: appends put/view/replicate results to BENCH_storage.json.
+bench-storage:
+	$(PYTHON) scripts/bench_storage.py
+
+## Fail if docs/*.md reference modules, files or make targets that don't exist.
+docs-check:
+	$(PYTHON) scripts/docs_check.py
 
 ## The full paper benchmark suite (slow).
 bench:

@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Storage perf snapshot: put / view / replicate throughput → JSON.
+
+Runs the storage-focused measurements outside pytest and appends one
+entry to ``BENCH_storage.json`` in the repo root (the storage sibling of
+``scripts/bench_broker.py`` and ``scripts/bench_taint.py``):
+
+    python scripts/bench_storage.py            # full run
+    python scripts/bench_storage.py --quick    # smaller document counts
+
+Every entry is self-contained pre/post evidence: the same workload is
+driven through the **seed path** (:class:`ReferenceDatabase` — full-scan
+views, per-row relabeling, doc-at-a-time replication) and through the
+production store at **1 and 8 shards** (incremental per-key view
+indexes, cached labeled rows, batched checkpointed replication), so one
+snapshot shows the seed→sharded trajectory on this machine:
+
+* **put** — single-writer docs/second, and 4 concurrent writers at
+  8 shards (per-shard locks) vs 1 shard (one lock);
+* **view** — exact-key queries (index vs full scan), full labeled view
+  reads (cached labeled rows vs per-row re-derivation), and
+  clearance-filtered reads;
+* **replicate** — full-copy docs/second at several batch sizes and the
+  latency of an incremental no-op pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.timing import measure_latency  # noqa: E402
+from repro.core.labels import LabelSet  # noqa: E402
+from repro.mdt.labels import mdt_label  # noqa: E402
+from repro.storage.docstore import ShardedDatabase  # noqa: E402
+from repro.storage.reference import ReferenceDatabase, reference_replicate  # noqa: E402
+from repro.storage.replication import Replicator  # noqa: E402
+from repro.taint import with_labels  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "BENCH_storage.json"
+
+LABELS = [LabelSet([mdt_label(str(i))]) for i in range(4)]
+KEYS = 16
+
+
+def _document(index: int, labeled: bool) -> dict:
+    doc = {
+        "_id": f"rec-{index:06d}",
+        "type": "record",
+        "mid": str(index % KEYS),
+        "name": f"patient-{index}",
+        "stage": str(index % 4),
+        "notes": [f"visit-{v}" for v in range(3)],
+    }
+    if labeled:
+        labels = LABELS[index % len(LABELS)]
+        doc["name"] = with_labels(doc["name"], labels)
+        doc["stage"] = with_labels(doc["stage"], labels)
+    return doc
+
+
+def _by_mid(doc):
+    if isinstance(doc, dict) and "mid" in doc:
+        yield doc["mid"], doc.get("stage")
+
+
+def _stores(docs: int, labeled_every: int):
+    """(name, factory) pairs for the three measured configurations."""
+    return [
+        ("seed", lambda: ReferenceDatabase("bench-seed")),
+        ("sharded_1", lambda: ShardedDatabase("bench-1", shards=1)),
+        ("sharded_8", lambda: ShardedDatabase("bench-8", shards=8)),
+    ]
+
+
+def _fill(database, docs: int, labeled_every: int) -> None:
+    for index in range(docs):
+        database.put(_document(index, labeled=index % labeled_every == 0))
+
+
+def measure_put(docs: int, labeled_every: int) -> dict:
+    results = {}
+    for name, factory in _stores(docs, labeled_every):
+        database = factory()
+        started = time.perf_counter()
+        _fill(database, docs, labeled_every)
+        elapsed = time.perf_counter() - started
+        results[f"{name}_docs_per_s"] = round(docs / elapsed)
+
+    # Contended writers: the sharded store's per-shard locks let
+    # concurrent puts on different shards proceed in parallel.
+    for name, factory in (("sharded_1", None), ("sharded_8", None)):
+        shards = 1 if name == "sharded_1" else 8
+        database = ShardedDatabase(f"bench-threads-{shards}", shards=shards)
+        workers = 4
+        per_worker = docs // workers
+
+        def worker(base: int) -> None:
+            for offset in range(per_worker):
+                database.put(_document(base + offset, labeled=False))
+
+        threads = [
+            threading.Thread(target=worker, args=(worker_index * per_worker,))
+            for worker_index in range(workers)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        results[f"{name}_threads{workers}_docs_per_s"] = round(
+            per_worker * workers / elapsed
+        )
+    return results
+
+
+def measure_view(docs: int, labeled_every: int, iterations: int) -> dict:
+    results = {}
+    for name, factory in _stores(docs, labeled_every):
+        database = factory()
+        database.define_view("by_mid", _by_mid)
+        _fill(database, docs, labeled_every)
+
+        key_query = measure_latency(
+            lambda: database.view("by_mid", key="7"), iterations=iterations, warmup=50
+        )
+        results[f"{name}_key_query_us"] = round(key_query.mean * 1e6, 2)
+
+        labeled_read = measure_latency(
+            lambda: database.view("by_mid"), iterations=max(10, iterations // 10), warmup=5
+        )
+        results[f"{name}_full_read_us"] = round(labeled_read.mean * 1e6, 2)
+
+        if name != "seed":  # the seed path has no clearance parameter
+            clearance = LABELS[0]
+            filtered = measure_latency(
+                lambda: database.view("by_mid", key="7", clearance=clearance),
+                iterations=iterations,
+                warmup=50,
+            )
+            results[f"{name}_clearance_query_us"] = round(filtered.mean * 1e6, 2)
+    return results
+
+
+def _median_full_copy(run_once, trials: int = 7) -> float:
+    """Median seconds for a fresh full-copy pass (one pass is only a few
+    milliseconds at these document counts, so single samples are noise)."""
+    samples = sorted(run_once() for _ in range(trials))
+    return samples[len(samples) // 2]
+
+
+def measure_replicate(docs: int, labeled_every: int) -> dict:
+    results = {}
+
+    source_seed = ReferenceDatabase("seed-src")
+    _fill(source_seed, docs, labeled_every)
+
+    def seed_pass() -> float:
+        target = ReferenceDatabase("seed-dst")
+        started = time.perf_counter()
+        reference_replicate(source_seed, target)
+        return time.perf_counter() - started
+
+    results["seed_docs_per_s"] = round(docs / _median_full_copy(seed_pass))
+
+    for shards in (1, 8):
+        source = ShardedDatabase(f"src-{shards}", shards=shards)
+        _fill(source, docs, labeled_every)
+        for batch_size in (1, 100):
+
+            def batched_pass() -> float:
+                target = ShardedDatabase(
+                    f"dst-{shards}-{batch_size}", shards=shards, read_only=True
+                )
+                replicator = Replicator(source, target, batch_size=batch_size)
+                started = time.perf_counter()
+                replicator.replicate()
+                return time.perf_counter() - started
+
+            results[f"sharded_{shards}_batch{batch_size}_docs_per_s"] = round(
+                docs / _median_full_copy(batched_pass)
+            )
+        idle_target = ShardedDatabase(f"dst-{shards}-idle", shards=shards, read_only=True)
+        idle_replicator = Replicator(source, idle_target, batch_size=100)
+        idle_replicator.replicate()
+        idle = measure_latency(idle_replicator.replicate, iterations=200, warmup=10)
+        results[f"sharded_{shards}_idle_pass_us"] = round(idle.mean * 1e6, 2)
+    return results
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller document counts for a smoke run"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="result file to append to"
+    )
+    parser.add_argument(
+        "--note", default="", help="free-form tag recorded with the entry"
+    )
+    args = parser.parse_args()
+
+    docs = 500 if args.quick else 3000
+    iterations = 100 if args.quick else 400
+    labeled_every = 5  # 20% of documents carry labeled fields
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "revision": git_revision(),
+        "note": args.note,
+        "config": {"docs": docs, "labeled_every": labeled_every, "view_keys": KEYS},
+        "put": measure_put(docs, labeled_every),
+        "view": measure_view(docs, labeled_every, iterations),
+        "replicate": measure_replicate(docs, labeled_every),
+    }
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,7 @@ from repro.mdt.portal import build_portal
 from repro.mdt.producer import DataProducer
 from repro.mdt.storage_unit import DataStorage, define_application_views
 from repro.mdt.workload import Workload, WorkloadConfig, generate_workload
-from repro.storage.docstore import Database
+from repro.storage.docstore import DocumentDatabase, make_database
 from repro.storage.replication import Replicator
 from repro.storage.webdb import WebDatabase
 from repro.web.http import TestClient
@@ -69,8 +69,8 @@ class Firewall:
 class FirewalledReplicator(Replicator):
     """A replicator whose every pass re-validates the firewall direction."""
 
-    def __init__(self, source: Database, target: Database, firewall: Firewall,
-                 source_zone: str, target_zone: str):
+    def __init__(self, source: DocumentDatabase, target: DocumentDatabase,
+                 firewall: Firewall, source_zone: str, target_zone: str):
         super().__init__(source, target)
         self._firewall = firewall
         self._zones = (source_zone, target_zone)
@@ -101,6 +101,7 @@ class MdtDeployment:
         isolation: bool = True,
         label_checks_in_broker: bool = True,
         label_events: bool = True,
+        shards: int = 1,
     ):
         self.audit = audit if audit is not None else AuditLog()
         self.firewall = Firewall()
@@ -118,7 +119,9 @@ class MdtDeployment:
             isolation=isolation,
             raise_callback_errors=True,
         )
-        self.app_db = Database("mdt_app")
+        # ``shards > 1`` hash-partitions both application databases; the
+        # API (and every enforcement decision) is identical either way.
+        self.app_db = make_database("mdt_app", shards=shards)
         define_application_views(self.app_db)
 
         self.producer = DataProducer(self.main_db, label_events=label_events)
@@ -130,7 +133,7 @@ class MdtDeployment:
         self.engine.register(self.storage)
 
         # --- DMZ ---------------------------------------------------------------
-        self.dmz_db = Database("mdt_app_dmz", read_only=True)
+        self.dmz_db = make_database("mdt_app_dmz", shards=shards, read_only=True)
         define_application_views(self.dmz_db)
         self.replicator = FirewalledReplicator(
             self.app_db, self.dmz_db, self.firewall, Zone.INTRANET, Zone.DMZ

@@ -21,9 +21,9 @@ from __future__ import annotations
 from repro.core.labels import LabelSet
 from repro.events.event import Event
 from repro.events.unit import Unit
-from repro.exceptions import DeclassificationError, DocumentConflict
+from repro.exceptions import DeclassificationError
 from repro.mdt.labels import mdt_aggregate_label, region_aggregate_label
-from repro.storage.docstore import Database
+from repro.storage.docstore import DocumentDatabase
 from repro.taint.labeled import with_labels
 
 #: Record fields persisted with confidentiality labels; everything else
@@ -47,7 +47,7 @@ class DataStorage(Unit):
 
     unit_name = "data_storage"
 
-    def __init__(self, app_db: Database):
+    def __init__(self, app_db: DocumentDatabase):
         super().__init__()
         self._app_db = app_db
         self.documents_written = 0
@@ -134,27 +134,31 @@ class DataStorage(Unit):
             )
 
     def _upsert(self, document: dict) -> None:
-        existing = self._app_db.get_or_none(document["_id"])
-        if existing is not None:
-            document["_rev"] = existing["_rev"]
-        try:
-            self._app_db.put(document)
-        except DocumentConflict:
-            # Concurrent writer between get and put; retry once with the
-            # fresh revision (storage is the only writer in practice).
-            current = self._app_db.get_or_none(document["_id"])
-            if current is not None:
-                document["_rev"] = current["_rev"]
-            self._app_db.put(document)
+        # The store adopts the current revision under its own lock, so
+        # the seed's get-then-put conflict retry is no longer needed.
+        self._app_db.upsert(document)
         self.documents_written += 1
 
 
-def define_application_views(database: Database) -> None:
-    """The design document of the MDT application database."""
+def define_application_views(database: DocumentDatabase) -> None:
+    """The design document of the MDT application database.
+
+    Works on a plain or sharded database; each view is an incremental
+    secondary index maintained on every write. ``records/count_by_mid``
+    carries a reduce function (sum, re-reducible over shard partials)
+    so record counts never materialise rows.
+    """
 
     def records_by_mid(doc):
         if isinstance(doc, dict) and doc.get("type") == "record":
             yield doc.get("mid", ""), None
+
+    def records_count(doc):
+        if isinstance(doc, dict) and doc.get("type") == "record":
+            yield doc.get("mid", ""), 1
+
+    def sum_counts(keys, values, rereduce):
+        return sum(values)
 
     def metrics_by_mid(doc):
         if isinstance(doc, dict) and doc.get("type") == "mdt_metric":
@@ -165,5 +169,6 @@ def define_application_views(database: Database) -> None:
             yield doc.get("metric_region", ""), None
 
     database.define_view("records/by_mid", records_by_mid)
+    database.define_view("records/count_by_mid", records_count, sum_counts)
     database.define_view("metrics/by_mid", metrics_by_mid)
     database.define_view("metrics/by_region", metrics_by_region)

@@ -118,19 +118,18 @@ class Workload:
                 mdt=mdt_id,
                 region=info.region,
             )
-            webdb.grant_label_privilege(user_id, "clearance", mdt_label(mdt_id).uri)
-            webdb.grant_label_privilege(
-                user_id, "declassification", mdt_label(mdt_id).uri
-            )
+            grants = [
+                ("clearance", mdt_label(mdt_id).uri),
+                ("declassification", mdt_label(mdt_id).uri),
+            ]
             # MDT-level aggregates: visible to every MDT in the same region.
-            for peer in self.directory.in_region(info.region):
-                webdb.grant_label_privilege(
-                    user_id, "clearance", mdt_aggregate_label(peer.mdt_id).uri
-                )
-            # Regional aggregates: visible to all MDTs.
-            webdb.grant_label_privilege(
-                user_id, "clearance", region_aggregate_root().uri
+            grants.extend(
+                ("clearance", mdt_aggregate_label(peer.mdt_id).uri)
+                for peer in self.directory.in_region(info.region)
             )
+            # Regional aggregates: visible to all MDTs.
+            grants.append(("clearance", region_aggregate_root().uri))
+            webdb.grant_label_privileges(user_id, grants)
             # The Listing 3 application-level ACL row.
             webdb.grant_acl(user_id, hospital=info.hospital, clinic=info.clinic)
 
@@ -174,6 +173,9 @@ def _generate_main_db(
     config: WorkloadConfig, directory: MdtDirectory, rng: random.Random
 ) -> MainDatabase:
     main_db = MainDatabase()
+    patients = []
+    tumours = []
+    treatments = []
     patient_counter = 0
     tumour_counter = 0
     treatment_counter = 0
@@ -187,7 +189,7 @@ def _generate_main_db(
             patient_counter += 1
             patient_id = f"p{patient_counter:05d}"
             name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
-            main_db.insert_patient(
+            patients.append(
                 Patient(
                     patient_id=patient_id,
                     name=name,
@@ -209,7 +211,7 @@ def _generate_main_db(
                 # different MDTs share tumour sites (the design-error
                 # injection relies on cross-MDT site collisions).
                 site = info.clinic if rng.random() < 0.8 else rng.choice(_SITES)
-                main_db.insert_tumour(
+                tumours.append(
                     Tumour(
                         tumour_id=tumour_id,
                         patient_id=patient_id,
@@ -223,7 +225,7 @@ def _generate_main_db(
                 )
                 for _ in range(rng.randint(0, config.max_treatments_per_tumour)):
                     treatment_counter += 1
-                    main_db.insert_treatment(
+                    treatments.append(
                         Treatment(
                             treatment_id=f"tr{treatment_counter:05d}",
                             tumour_id=tumour_id,
@@ -233,6 +235,8 @@ def _generate_main_db(
                             outcome=rng.choice(_OUTCOMES),
                         )
                     )
+    # One critical section for the whole synthetic registry.
+    main_db.bulk_load(patients=patients, tumours=tumours, treatments=treatments)
     return main_db
 
 

@@ -3,27 +3,52 @@
 The MDT deployment uses three stores, all reproduced here:
 
 * the **application database** — CouchDB in the paper; a document store
-  with ``_id``/``_rev`` MVCC, map views and a changes feed
-  (:mod:`repro.storage.docstore`), with CouchDB-style push replication
+  with ``_id``/``_rev`` MVCC, incremental map/reduce views and a
+  changes feed (:mod:`repro.storage.docstore`), hash-sharded behind the
+  same API (:class:`~repro.storage.docstore.ShardedDatabase`), with
+  batched CouchDB-style push replication
   (:mod:`repro.storage.replication`) and a CouchRest-like model layer
-  (:mod:`repro.storage.couchrest`);
+  (:mod:`repro.storage.couchrest`). The seed implementation survives as
+  the executable spec in :mod:`repro.storage.reference`;
 * the **web database** — SQLite, holding users, privileges and sessions
   (:mod:`repro.storage.webdb`);
 * the **main cancer registration database** — simulated relational store
   of patients/tumours/treatments (:mod:`repro.storage.maindb`).
+
+See ``docs/STORAGE.md`` for the sharding scheme, view lifecycle,
+replication checkpoint format and clearance-filtering rules.
 """
 
-from repro.storage.docstore import Database, DocumentStore
-from repro.storage.replication import ReplicationResult, Replicator, replicate
+from repro.storage.docstore import (
+    Change,
+    Database,
+    DocumentDatabase,
+    DocumentStore,
+    ShardedDatabase,
+    ViewRow,
+)
+from repro.storage.replication import (
+    ContinuousReplicator,
+    ReplicationResult,
+    Replicator,
+    replicate,
+)
+from repro.storage.reference import ReferenceDatabase
 from repro.storage.couchrest import Model
 from repro.storage.webdb import WebDatabase
 from repro.storage.maindb import MainDatabase, Patient, Treatment, Tumour
 
 __all__ = [
+    "Change",
     "Database",
+    "DocumentDatabase",
     "DocumentStore",
+    "ShardedDatabase",
+    "ViewRow",
+    "ReferenceDatabase",
     "Replicator",
     "ReplicationResult",
+    "ContinuousReplicator",
     "replicate",
     "Model",
     "WebDatabase",

@@ -14,6 +14,12 @@ classes with view-backed finders such as ``Records.by_mid(key: mid)``
 ``by_mid`` classmethod. Instances behave like dictionaries whose values
 carry the labels persisted with the document, so application code that
 manipulates model fields stays inside the taint-tracking net.
+
+Models bind to either database flavour — a single
+:class:`~repro.storage.docstore.Database` or a
+:class:`~repro.storage.docstore.ShardedDatabase` — through the common
+:data:`~repro.storage.docstore.DocumentDatabase` surface; ``by_<attr>``
+finders ride the incremental per-key view index either way.
 """
 
 from __future__ import annotations
@@ -21,8 +27,9 @@ from __future__ import annotations
 import itertools
 from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple
 
+from repro.core.labels import LabelSet
 from repro.exceptions import SafeWebError
-from repro.storage.docstore import Database
+from repro.storage.docstore import DocumentDatabase
 
 _doc_ids = itertools.count(1)
 
@@ -32,7 +39,7 @@ class Model:
 
     #: Attribute names to index; each generates a ``by_<name>`` finder.
     view_by: ClassVar[Tuple[str, ...]] = ()
-    _database: ClassVar[Optional[Database]] = None
+    _database: ClassVar[Optional[DocumentDatabase]] = None
 
     def __init__(self, attributes: Optional[Dict[str, Any]] = None, **kwargs):
         merged = dict(attributes or {})
@@ -48,14 +55,14 @@ class Model:
             setattr(cls, f"by_{attribute}", _make_finder(cls, attribute))
 
     @classmethod
-    def use(cls, database: Database) -> None:
-        """Bind the model to a database and define its views."""
+    def use(cls, database: DocumentDatabase) -> None:
+        """Bind the model to a database (plain or sharded) and define its views."""
         cls._database = database
         for attribute in cls.view_by:
             database.define_view(cls._view_name(attribute), _make_map(attribute))
 
     @classmethod
-    def database(cls) -> Database:
+    def database(cls) -> DocumentDatabase:
         if cls._database is None:
             raise SafeWebError(f"model {cls.__name__} is not bound; call {cls.__name__}.use(db)")
         return cls._database
@@ -130,6 +137,7 @@ class Model:
 
     @classmethod
     def all(cls) -> List["Model"]:
+        """Every live document, in stable insertion (sequence) order."""
         return [cls(document) for document in cls.database().all_docs()]
 
     @classmethod
@@ -147,12 +155,20 @@ def _make_map(attribute: str):
 
 
 def _make_finder(cls, attribute: str):
-    def finder(model_cls, key: Any = None) -> List[Model]:
+    def finder(
+        model_cls, key: Any = None, clearance: Optional[LabelSet] = None
+    ) -> List[Model]:
         rows = model_cls.database().view(
-            model_cls._view_name(attribute), key=key, include_docs=True
+            model_cls._view_name(attribute),
+            key=key,
+            include_docs=True,
+            clearance=clearance,
         )
         return [model_cls(row.value) for row in rows]
 
     finder.__name__ = f"by_{attribute}"
-    finder.__doc__ = f"Documents whose {attribute!r} equals *key* (all when omitted)."
+    finder.__doc__ = (
+        f"Documents whose {attribute!r} equals *key* (all when omitted); "
+        f"*clearance* pre-filters to documents readable under that label set."
+    )
     return classmethod(finder)

@@ -1,4 +1,5 @@
-"""A CouchDB-like document store with label persistence.
+"""A CouchDB-like document store with label persistence, sharding and
+incremental views.
 
 The MDT application stores processed records *with their security labels*
 in the application database (paper §5.1). Documents here are plain JSON
@@ -10,10 +11,24 @@ Implemented CouchDB behaviours the reproduction relies on:
 
 * ``_id`` / ``_rev`` optimistic concurrency (MVCC): writes must present
   the current revision or fail with :class:`DocumentConflict`;
-* map views (Python callables instead of JavaScript) queried by key,
-  maintained incrementally as documents change;
-* a monotonic changes feed, which replication consumes;
-* a read-only mode for the DMZ replica (security requirement S1).
+* map (and optional reduce) views — Python callables instead of
+  JavaScript — maintained as **incremental secondary indexes**: map
+  output is stored per (view, document), invalidated tombstone-style
+  when the document is updated or deleted, and queried through a
+  per-key index instead of a full scan;
+* a monotonic changes feed with batch reads and change listeners, which
+  replication consumes;
+* a read-only mode for the DMZ replica (security requirement S1);
+* :class:`ShardedDatabase` — N :class:`Database` shards behind the same
+  API, hash-partitioned by document id, sharing one store-wide sequence
+  so the merged changes feed and document ordering stay globally
+  monotonic.
+
+Enforcement semantics (which rows a reader sees, which labels they
+carry, how ``update_seq`` advances) are pinned byte-identical to the
+seed implementation, preserved as the executable specification in
+:mod:`repro.storage.reference` and enforced by
+``tests/property/test_sharded_store.py``.
 """
 
 from __future__ import annotations
@@ -21,12 +36,64 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import zlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.labels import EMPTY_LABELS, LabelSet
 from repro.exceptions import DocumentConflict, DocumentNotFound, ReadOnlyError, SafeWebError
 from repro.taint import json_codec
 from repro.taint.labeled import labels_of, strip_labels
+
+#: A map view callable: receives the (plain) document, yields
+#: ``(key, value)`` pairs — the analogue of CouchDB's ``emit``.
+MapFunction = Callable[[Dict[str, Any]], Iterable]
+
+#: A CouchDB-style reduce callable: ``reduce(keys, values, rereduce)``.
+#: ``keys`` is a list of ``(emitted_key, doc_id)`` pairs (``None`` when
+#: re-reducing), ``values`` the emitted values (or partial results when
+#: ``rereduce`` is true).
+ReduceFunction = Callable[[Optional[List[Tuple[Any, str]]], List[Any], bool], Any]
+
+
+class SequenceAllocator:
+    """Thread-safe monotonic sequence source.
+
+    A standalone :class:`Database` owns a private allocator (seed
+    semantics: ``update_seq`` counts that database's writes). A
+    :class:`ShardedDatabase` passes one shared allocator to every shard,
+    so sequence numbers are unique and monotonic *across* shards and the
+    merged changes feed needs no per-shard tie-breaking.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def next(self) -> int:
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def reserve(self, count: int) -> int:
+        """Allocate *count* consecutive sequences; returns the first.
+
+        Batch writers (replication) take one block per batch instead of
+        one lock round-trip per document. Blocks from different shards
+        interleave at batch granularity — still unique, still monotonic
+        within every shard's feed.
+        """
+        with self._lock:
+            start = self._value + 1
+            self._value += count
+            return start
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
 
 
 @dataclass
@@ -36,6 +103,13 @@ class _StoredDocument:
     body: Any  # plain JSON value (no labels)
     sidecar: Dict[str, List[str]]
     deleted: bool = False
+    #: Store-wide sequence at which this id was (last) created; orders
+    #: :meth:`Database.all_doc_ids`. Preserved across updates, renewed
+    #: when a deleted id is recreated.
+    order: int = 0
+    #: Union of every label set in the sidecar — the document's combined
+    #: confidentiality, precomputed for clearance-filtered view reads.
+    labels: LabelSet = EMPTY_LABELS
 
 
 @dataclass(frozen=True)
@@ -57,6 +131,31 @@ class ViewRow:
     value: Any
 
 
+class _ViewIndex:
+    """Incremental secondary index for one view.
+
+    ``rows`` holds the stripped map output per document (the tombstone
+    unit: a document update or delete drops its entry and re-emits).
+    ``by_key`` maps each hashable emitted key to the documents that
+    emitted it, so exact-key queries touch only matching documents;
+    documents with unhashable emitted keys land in ``unhashable_docs``
+    and are scanned (equality may still hold where hashing cannot).
+    ``labeled_rows`` lazily caches the map output over the *labeled*
+    document for documents with a non-empty sidecar, so labeled view
+    rows are derived once per write instead of once per read.
+    """
+
+    __slots__ = ("map_function", "reduce_function", "rows", "by_key", "unhashable_docs", "labeled_rows")
+
+    def __init__(self, map_function: MapFunction, reduce_function: Optional[ReduceFunction] = None):
+        self.map_function = map_function
+        self.reduce_function = reduce_function
+        self.rows: Dict[str, List[Tuple[Any, Any]]] = {}
+        self.by_key: Dict[Any, Set[str]] = {}
+        self.unhashable_docs: Set[str] = set()
+        self.labeled_rows: Dict[str, List[Tuple[Any, Any]]] = {}
+
+
 def _next_rev(current: Optional[str], canonical_body: str) -> str:
     """Next MVCC revision from the canonical JSON text of the body.
 
@@ -70,18 +169,70 @@ def _next_rev(current: Optional[str], canonical_body: str) -> str:
     return f"{generation + 1}-{digest}"
 
 
-class Database:
-    """One named database inside a :class:`DocumentStore`."""
+def _sidecar_labels(sidecar: Dict[str, List[str]]) -> LabelSet:
+    """The union of every label set in a sidecar (interned, cheap)."""
+    combined = EMPTY_LABELS
+    for uris in sidecar.values():
+        combined = combined.union(LabelSet.from_uris(tuple(uris)))
+    return combined
 
-    def __init__(self, name: str, read_only: bool = False):
+
+def _coerce_entry(entry) -> _StoredDocument:
+    """A fresh target-side :class:`_StoredDocument` from a batch entry.
+
+    Accepts the replicator's source documents (copied, never aliased:
+    the target assigns its own ``order``) or plain 5-tuples from
+    wire-level callers. A source without precomputed labels (the
+    reference store) gets its sidecar folded here.
+    """
+    if isinstance(entry, _StoredDocument):
+        labels = entry.labels
+        if entry.sidecar and not labels:
+            labels = _sidecar_labels(entry.sidecar)
+        return _StoredDocument(
+            entry.doc_id, entry.rev, entry.body, dict(entry.sidecar),
+            entry.deleted, labels=labels,
+        )
+    doc_id, rev, body, sidecar, deleted = entry
+    return _StoredDocument(
+        doc_id, rev, body, dict(sidecar), deleted, labels=_sidecar_labels(sidecar)
+    )
+
+
+def _is_hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+class Database:
+    """One named database (or one shard of a :class:`ShardedDatabase`).
+
+    Thread-safe behind a single re-entrant lock; a sharded store gives
+    each shard its own instance so writes to different shards never
+    contend.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        read_only: bool = False,
+        sequence: Optional[SequenceAllocator] = None,
+    ):
         self.name = name
         self.read_only = read_only
         self._lock = threading.RLock()
+        self._sequence = sequence if sequence is not None else SequenceAllocator()
         self._documents: Dict[str, _StoredDocument] = {}
-        self._seq = 0
+        self._seq = 0  # last sequence recorded by *this* database
         self._changes: List[Change] = []
-        # view name -> (map function, doc_id -> [(key, value)])
-        self._views: Dict[str, Tuple[Callable, Dict[str, List[Tuple[Any, Any]]]]] = {}
+        self._views: Dict[str, _ViewIndex] = {}
+        #: doc_id -> labeled (decoded) document, shared across views;
+        #: invalidated whenever the document changes.
+        self._decoded_cache: Dict[str, Any] = {}
+        self._listeners: List[Callable[[List[Change]], None]] = []
 
     # -- writes ----------------------------------------------------------------
 
@@ -92,6 +243,12 @@ class Database:
         split into the sidecar before the plain body is stored, and the
         presented ``_rev`` must match the stored revision (MVCC).
         """
+        result, change = self._put(document)
+        self._notify([change])
+        return result
+
+    def _put(self, document: Dict[str, Any]) -> Tuple[Dict[str, Any], Change]:
+        """The write itself, without listener notification (see callers)."""
         self._guard_writable()
         if "_id" not in document:
             raise SafeWebError("document requires an _id")
@@ -120,13 +277,38 @@ class Database:
                         f"document {doc_id!r} does not exist", doc_id=doc_id
                     )
                 rev = _next_rev(existing.rev if existing else None, canonical)
-            stored = _StoredDocument(doc_id, rev, plain, sidecar)
-            self._documents[doc_id] = stored
-            self._record_change(stored)
-            self._index_document(stored)
-        return {"id": doc_id, "rev": rev}
+            stored = _StoredDocument(
+                doc_id, rev, plain, sidecar, labels=_sidecar_labels(sidecar)
+            )
+            change = self._commit(stored, existing)
+        return {"id": doc_id, "rev": rev}, change
+
+    def upsert(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """Insert-or-update without the caller tracking ``_rev``.
+
+        Atomically adopts the current revision (if any) under the store
+        lock, so the get-then-put race the seed's consumers worked
+        around with retries cannot happen within one database.
+        """
+        self._guard_writable()
+        if "_id" not in document:
+            raise SafeWebError("document requires an _id")
+        doc_id = strip_labels(str(document["_id"]))
+        # Revision adoption and commit share one lock hold (no MVCC race
+        # window), but listeners still fire after the lock is released.
+        with self._lock:
+            fresh = dict(document)
+            existing = self._documents.get(doc_id)
+            if existing is not None and not existing.deleted:
+                fresh["_rev"] = existing.rev
+            else:
+                fresh.pop("_rev", None)
+            result, change = self._put(fresh)
+        self._notify([change])
+        return result
 
     def delete(self, doc_id: str, rev: str) -> Dict[str, Any]:
+        """Delete by id + current revision; leaves a tombstone in the feed."""
         self._guard_writable()
         with self._lock:
             existing = self._documents.get(doc_id)
@@ -138,9 +320,8 @@ class Database:
                 )
             tombstone_rev = _next_rev(existing.rev, json.dumps(None))
             stored = _StoredDocument(doc_id, tombstone_rev, None, {}, deleted=True)
-            self._documents[doc_id] = stored
-            self._record_change(stored)
-            self._index_document(stored)
+            change = self._commit(stored, existing)
+        self._notify([change])
         return {"id": doc_id, "rev": tombstone_rev}
 
     def replication_put(
@@ -155,17 +336,83 @@ class Database:
         read-only protection — the replica accepts pushes only through
         :class:`~repro.storage.replication.Replicator`, which flips the
         internal flag)."""
+        self.replication_put_batch([(doc_id, rev, body, sidecar, deleted)])
+
+    def replication_put_batch(self, entries: Iterable) -> int:
+        """Apply a batch of replicated revisions under one lock acquisition.
+
+        Each entry is either a ``(doc_id, rev, body, sidecar, deleted)``
+        tuple or a source :class:`_StoredDocument` (the replicator ships
+        the latter — bodies pre-stripped and sidecars pre-collected by
+        the single-pass :func:`~repro.taint.json_codec.encode_document`
+        at original write time, combined labels precomputed, so
+        replication never re-serialises or re-folds). Returns the number
+        of entries applied.
+        """
+        materialised = [_coerce_entry(entry) for entry in entries]
+        changes: List[Change] = []
         with self._lock:
-            stored = _StoredDocument(doc_id, rev, body, dict(sidecar), deleted)
-            self._documents[doc_id] = stored
-            self._record_change(stored)
-            self._index_document(stored)
+            seq = self._sequence.reserve(len(materialised)) if materialised else 0
+            for stored in materialised:
+                existing = self._documents.get(stored.doc_id)
+                changes.append(self._commit(stored, existing, seq=seq))
+                seq += 1
+        self._notify(changes)
+        return len(changes)
+
+    def _commit(
+        self,
+        stored: _StoredDocument,
+        existing: Optional[_StoredDocument],
+        seq: Optional[int] = None,
+    ) -> Change:
+        """Install a stored revision: ordering, changes feed, view upkeep.
+
+        Must run under :attr:`_lock`. *seq* lets batch writers pass a
+        pre-reserved sequence instead of taking the allocator lock per
+        document.
+        """
+        if existing is not None and not existing.deleted:
+            stored.order = existing.order  # updates keep their slot
+        self._documents[stored.doc_id] = stored
+        self._seq = self._sequence.next() if seq is None else seq
+        if stored.order == 0:
+            stored.order = self._seq  # creations (and recreations) append
+        change = Change(self._seq, stored.doc_id, stored.rev, stored.deleted)
+        self._changes.append(change)
+        self._decoded_cache.pop(stored.doc_id, None)
+        for view in self._views.values():
+            self._index_one(view, stored)
+        return change
 
     def _guard_writable(self) -> None:
         if self.read_only:
             raise ReadOnlyError(
                 f"database {self.name!r} is read-only (S1: DMZ replicas reject writes)"
             )
+
+    # -- change listeners --------------------------------------------------------
+
+    def add_change_listener(self, listener: Callable[[List[Change]], None]) -> None:
+        """Call *listener* with each committed batch of changes.
+
+        Listeners run on the writer's thread, after the store lock is
+        released; the continuous replicator uses one to wake on writes
+        instead of polling.
+        """
+        self._listeners.append(listener)
+
+    def remove_change_listener(self, listener: Callable[[List[Change]], None]) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, changes: List[Change]) -> None:
+        if not changes:
+            return
+        for listener in list(self._listeners):
+            listener(changes)
 
     # -- reads ------------------------------------------------------------------
 
@@ -197,85 +444,233 @@ class Database:
             return sum(1 for doc in self._documents.values() if not doc.deleted)
 
     def all_doc_ids(self) -> List[str]:
+        """Live document ids in **stable insertion (sequence) order**.
+
+        Guarantee: ids appear in the order their documents were first
+        created; updates keep a document's slot, and recreating a
+        deleted id moves it to the end. Because the order key is the
+        store-wide change sequence, the ordering is identical whether
+        documents live in one :class:`Database` or are merged across
+        :class:`ShardedDatabase` shards.
+
+        On a replica the order reflects *replicated arrival*, which
+        matches the source feed — with one caveat: a delete+recreate
+        collapsed into a single deduplicated change ships as an update,
+        so the replica keeps the document's existing slot even though
+        the source moved it to the end.
+        """
         with self._lock:
-            return sorted(
-                doc_id for doc_id, doc in self._documents.items() if not doc.deleted
-            )
+            live = [doc for doc in self._documents.values() if not doc.deleted]
+        live.sort(key=lambda doc: doc.order)
+        return [doc.doc_id for doc in live]
+
+    def _ordered_ids(self) -> List[Tuple[int, str]]:
+        """(order, doc_id) pairs for live documents (shard merge input)."""
+        with self._lock:
+            return [
+                (doc.order, doc.doc_id)
+                for doc in self._documents.values()
+                if not doc.deleted
+            ]
 
     def all_docs(self) -> List[Dict[str, Any]]:
+        """Live documents, labels re-attached, in :meth:`all_doc_ids` order."""
         return [self.get(doc_id) for doc_id in self.all_doc_ids()]
 
     # -- views ---------------------------------------------------------------------
 
-    def define_view(self, name: str, map_function: Callable[[Dict[str, Any]], Iterable]) -> None:
-        """Register a map view.
+    def define_view(
+        self,
+        name: str,
+        map_function: MapFunction,
+        reduce_function: Optional[ReduceFunction] = None,
+    ) -> None:
+        """Register a map (and optional reduce) view.
 
         *map_function* receives each (plain) document and yields
         ``(key, value)`` pairs — the Python analogue of a CouchDB design
-        document's ``emit(key, value)``.
+        document's ``emit(key, value)``. *reduce_function* follows the
+        CouchDB protocol ``reduce(keys, values, rereduce)`` and is
+        invoked by :meth:`view` with ``reduce=True``.
+
+        The view is indexed immediately over existing documents and
+        maintained incrementally on every subsequent write.
         """
         with self._lock:
-            index: Dict[str, List[Tuple[Any, Any]]] = {}
-            self._views[name] = (map_function, index)
+            view = _ViewIndex(map_function, reduce_function)
+            self._views[name] = view
             for stored in self._documents.values():
-                self._index_one(name, stored)
+                self._index_one(view, stored)
 
     def view(
         self,
         name: str,
         key: Any = None,
         include_docs: bool = False,
-    ) -> List[ViewRow]:
-        """Query a view, optionally filtered by exact key.
+        clearance: Optional[LabelSet] = None,
+        reduce: bool = False,
+    ) -> Any:
+        """Query a view.
 
-        Values and (with ``include_docs``) documents come back with
-        labels re-attached, exactly like :meth:`get`.
+        * ``key`` filters to rows whose emitted key equals *key* —
+          served from the per-key index, falling back to a scan only
+          for unhashable keys;
+        * ``include_docs`` resolves each row's document (labels
+          re-attached, exactly like :meth:`get`);
+        * ``clearance`` drops rows whose *document's* combined
+          confidentiality labels do not flow to the given clearance
+          label set, using the memoized lattice check — rows from
+          unlabeled documents pass without allocating;
+        * ``reduce`` runs the view's reduce function over the matching
+          rows and returns the reduced value instead of rows.
+
+        Row order is stable: ascending document id, emissions in map
+        order — identical to the seed store and across shard counts.
+
+        Returned keys and values are owned by the view index (the seed
+        store shared its index objects the same way): treat rows as
+        read-only, or mutate a copy.
         """
         with self._lock:
-            if name not in self._views:
+            view = self._views.get(name)
+            if view is None:
                 raise DocumentNotFound(f"no view {name!r} in database {self.name!r}")
-            _map_function, index = self._views[name]
-            rows: List[ViewRow] = []
-            for doc_id in sorted(index):
-                for emitted_key, emitted_value in index[doc_id]:
-                    if key is not None and emitted_key != key:
-                        continue
-                    rows.append(ViewRow(doc_id, emitted_key, emitted_value))
-        if include_docs:
-            resolved = []
-            for row in rows:
-                document = self.get(row.doc_id)
-                resolved.append(ViewRow(row.doc_id, row.key, document))
-            return resolved
-        return [self._relabel_row(row) for row in rows]
+            if reduce:
+                return self._reduce(view, key, clearance)
+            rows = self._matching_rows(view, key, clearance)
+            if not include_docs:
+                resolved = []
+                for doc_id, emitted_key, emitted_value in rows:
+                    stored = self._documents[doc_id]
+                    if not stored.sidecar:
+                        resolved.append(ViewRow(doc_id, emitted_key, emitted_value))
+                    else:
+                        resolved.append(
+                            self._relabel_row(ViewRow(doc_id, emitted_key, emitted_value))
+                        )
+                return resolved
+        return [
+            ViewRow(doc_id, emitted_key, self.get(doc_id))
+            for doc_id, emitted_key, _emitted_value in rows
+        ]
+
+    def _matching_rows(
+        self, view: _ViewIndex, key: Any, clearance: Optional[LabelSet]
+    ) -> List[Tuple[str, Any, Any]]:
+        """(doc_id, key, value) triples matching *key*, in row order.
+
+        Must run under :attr:`_lock`.
+        """
+        if key is None or not _is_hashable(key):
+            candidates: Iterable[str] = view.rows
+        else:
+            matched = view.by_key.get(key)
+            if matched is None and not view.unhashable_docs:
+                return []
+            candidates = (
+                matched | view.unhashable_docs if matched is not None
+                else view.unhashable_docs
+            )
+        rows: List[Tuple[str, Any, Any]] = []
+        for doc_id in sorted(candidates):
+            if clearance is not None:
+                stored = self._documents.get(doc_id)
+                if stored is not None and not stored.labels.flows_to(clearance):
+                    continue
+            for emitted_key, emitted_value in view.rows[doc_id]:
+                if key is not None and emitted_key != key:
+                    continue
+                rows.append((doc_id, emitted_key, emitted_value))
+        return rows
+
+    def _reduce(self, view: _ViewIndex, key: Any, clearance: Optional[LabelSet]) -> Any:
+        if view.reduce_function is None:
+            raise SafeWebError("view has no reduce function")
+        has_rows, partial = self._reduce_partial_locked(view, key, clearance)
+        if not has_rows:
+            return view.reduce_function([], [], False)
+        return partial
+
+    def _reduce_partial_locked(
+        self, view: _ViewIndex, key: Any, clearance: Optional[LabelSet]
+    ) -> Tuple[bool, Any]:
+        """(has_rows, reduce-over-matching-rows) for shard re-reduce."""
+        rows = self._matching_rows(view, key, clearance)
+        if not rows:
+            return False, None
+        keys = [(emitted_key, doc_id) for doc_id, emitted_key, _value in rows]
+        values = [value for _doc_id, _key, value in rows]
+        return True, view.reduce_function(keys, values, False)
+
+    def _reduce_partial(
+        self, name: str, key: Any, clearance: Optional[LabelSet]
+    ) -> Tuple[bool, Any]:
+        with self._lock:
+            view = self._views.get(name)
+            if view is None:
+                raise DocumentNotFound(f"no view {name!r} in database {self.name!r}")
+            if view.reduce_function is None:
+                raise SafeWebError("view has no reduce function")
+            return self._reduce_partial_locked(view, key, clearance)
 
     def _relabel_row(self, row: ViewRow) -> ViewRow:
-        with self._lock:
-            stored = self._documents.get(row.doc_id)
+        """Re-derive a row from the labeled document (seed semantics).
+
+        Views are searched in definition order for one whose index holds
+        this (key, value) for the document; that view's map output over
+        the *labeled* document (cached per write in ``labeled_rows``)
+        supplies the first emission whose stripped form matches. Must
+        run under :attr:`_lock`.
+        """
+        stored = self._documents.get(row.doc_id)
         if stored is None or not stored.sidecar:
             return row
-        # Re-derive the emission from the labeled document so emitted
-        # values keep field labels.
-        labeled = json_codec.decode_document(stored.body, stored.sidecar)
-        map_function = None
-        for name, (candidate, index) in self._views.items():
-            if row.doc_id in index and (row.key, row.value) in index[row.doc_id]:
-                map_function = candidate
-                break
-        if map_function is None:
+        for view in self._views.values():
+            emissions = view.rows.get(row.doc_id)
+            if emissions is None or (row.key, row.value) not in emissions:
+                continue
+            for emitted_key, emitted_value in self._labeled_rows(view, stored):
+                if (
+                    strip_labels(emitted_key) == row.key
+                    and strip_labels(emitted_value) == row.value
+                ):
+                    return ViewRow(row.doc_id, emitted_key, emitted_value)
             return row
-        for emitted_key, emitted_value in map_function(labeled):
-            if strip_labels(emitted_key) == row.key and strip_labels(emitted_value) == row.value:
-                return ViewRow(row.doc_id, emitted_key, emitted_value)
         return row
 
-    def _index_document(self, stored: _StoredDocument) -> None:
-        for name in self._views:
-            self._index_one(name, stored)
+    def _labeled_rows(self, view: _ViewIndex, stored: _StoredDocument) -> List[Tuple[Any, Any]]:
+        """Map output over the labeled document, cached until the doc changes."""
+        cached = view.labeled_rows.get(stored.doc_id)
+        if cached is not None:
+            return cached
+        labeled = self._decoded_cache.get(stored.doc_id)
+        if labeled is None:
+            labeled = json_codec.decode_document(stored.body, stored.sidecar)
+            self._decoded_cache[stored.doc_id] = labeled
+        # Hand the map function a copy (the same protection _index_one
+        # gives the plain body) so a mutating map cannot corrupt the
+        # shared decoded cache.
+        subject = dict(labeled) if isinstance(labeled, dict) else labeled
+        rows = [(emitted_key, emitted_value) for emitted_key, emitted_value in view.map_function(subject)]
+        view.labeled_rows[stored.doc_id] = rows
+        return rows
 
-    def _index_one(self, name: str, stored: _StoredDocument) -> None:
-        map_function, index = self._views[name]
-        index.pop(stored.doc_id, None)
+    def _index_one(self, view: _ViewIndex, stored: _StoredDocument) -> None:
+        """(Re-)index one document into one view; tombstones invalidate.
+
+        Must run under :attr:`_lock`.
+        """
+        previous = view.rows.pop(stored.doc_id, None)
+        if previous is not None:
+            for emitted_key, _value in previous:
+                if _is_hashable(emitted_key):
+                    docs = view.by_key.get(emitted_key)
+                    if docs is not None:
+                        docs.discard(stored.doc_id)
+                        if not docs:
+                            del view.by_key[emitted_key]
+            view.unhashable_docs.discard(stored.doc_id)
+        view.labeled_rows.pop(stored.doc_id, None)
         if stored.deleted:
             return
         emissions = []
@@ -283,7 +678,7 @@ class Database:
         if isinstance(document, dict):
             document["_id"] = stored.doc_id
         try:
-            for emitted in map_function(document):
+            for emitted in view.map_function(document):
                 emitted_key, emitted_value = emitted
                 emissions.append((strip_labels(emitted_key), strip_labels(emitted_value)))
         except (KeyError, TypeError, AttributeError):
@@ -291,16 +686,18 @@ class Database:
             # simply emits nothing for it.
             emissions = []
         if emissions:
-            index[stored.doc_id] = emissions
+            view.rows[stored.doc_id] = emissions
+            for emitted_key, _value in emissions:
+                if _is_hashable(emitted_key):
+                    view.by_key.setdefault(emitted_key, set()).add(stored.doc_id)
+                else:
+                    view.unhashable_docs.add(stored.doc_id)
 
     # -- changes feed ------------------------------------------------------------------
 
-    def _record_change(self, stored: _StoredDocument) -> None:
-        self._seq += 1
-        self._changes.append(Change(self._seq, stored.doc_id, stored.rev, stored.deleted))
-
     @property
     def update_seq(self) -> int:
+        """The last sequence this database recorded (store-wide when sharded)."""
         with self._lock:
             return self._seq
 
@@ -318,6 +715,11 @@ class Database:
         with self._lock:
             return self._documents.get(doc_id)
 
+    def raw_documents(self, doc_ids: Sequence[str]) -> List[Optional[_StoredDocument]]:
+        """Stored forms for a batch of ids under one lock acquisition."""
+        with self._lock:
+            return [self._documents.get(doc_id) for doc_id in doc_ids]
+
     # -- maintenance -------------------------------------------------------------
 
     def document_labels(self, doc_id: str) -> Any:
@@ -326,32 +728,260 @@ class Database:
         return labels_of({k: v for k, v in document.items() if k not in ("_id", "_rev")})
 
 
+class ShardedDatabase:
+    """N :class:`Database` shards behind the single-database API.
+
+    Document ids are hash-partitioned (CRC-32, stable across processes)
+    over the shards; every shard draws sequence numbers from one shared
+    :class:`SequenceAllocator`, so the merged changes feed is globally
+    monotonic and :meth:`all_doc_ids` ordering matches a single
+    database holding the same writes. Per-shard locks mean concurrent
+    writers on different shards never contend.
+
+    Reads merge shard results deterministically: view rows ascend by
+    document id (emissions in map order), changes ascend by sequence,
+    document ids ascend by insertion sequence — all byte-identical to
+    the sequential seed store (see ``tests/property/test_sharded_store.py``).
+    """
+
+    def __init__(self, name: str, shards: int = 8, read_only: bool = False):
+        if shards < 1:
+            raise SafeWebError("a sharded database needs at least one shard")
+        self.name = name
+        self.read_only = read_only
+        self._sequence = SequenceAllocator()
+        self.shards: Tuple[Database, ...] = tuple(
+            Database(f"{name}/shard-{index}", read_only=read_only, sequence=self._sequence)
+            for index in range(shards)
+        )
+
+    def shard_for(self, doc_id: str) -> Database:
+        """The shard owning *doc_id* (CRC-32 of the UTF-8 id, modulo N)."""
+        return self.shards[zlib.crc32(doc_id.encode("utf-8")) % len(self.shards)]
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        if "_id" not in document:
+            raise SafeWebError("document requires an _id")
+        return self.shard_for(strip_labels(str(document["_id"]))).put(document)
+
+    def upsert(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        if "_id" not in document:
+            raise SafeWebError("document requires an _id")
+        return self.shard_for(strip_labels(str(document["_id"]))).upsert(document)
+
+    def delete(self, doc_id: str, rev: str) -> Dict[str, Any]:
+        return self.shard_for(doc_id).delete(doc_id, rev)
+
+    def replication_put(
+        self,
+        doc_id: str,
+        rev: str,
+        body: Any,
+        sidecar: Dict[str, List[str]],
+        deleted: bool = False,
+    ) -> None:
+        self.shard_for(doc_id).replication_put(doc_id, rev, body, sidecar, deleted)
+
+    def replication_put_batch(self, entries: Iterable) -> int:
+        # Entries apply in feed order — consecutive same-shard runs share
+        # a lock acquisition, but a run commits before the next shard's
+        # begins, so documents are created here in the order the feed
+        # presents them, whatever the shard count on either side (see
+        # the all_doc_ids docstring for the replica-ordering caveat).
+        applied = 0
+        run: List[Any] = []
+        current: Optional[Database] = None
+        for entry in entries:
+            doc_id = entry.doc_id if isinstance(entry, _StoredDocument) else entry[0]
+            shard = self.shard_for(doc_id)
+            if shard is not current and run:
+                applied += current.replication_put_batch(run)
+                run = []
+            current = shard
+            run.append(entry)
+        if run:
+            applied += current.replication_put_batch(run)
+        return applied
+
+    # -- change listeners --------------------------------------------------------
+
+    def add_change_listener(self, listener: Callable[[List[Change]], None]) -> None:
+        for shard in self.shards:
+            shard.add_change_listener(listener)
+
+    def remove_change_listener(self, listener: Callable[[List[Change]], None]) -> None:
+        for shard in self.shards:
+            shard.remove_change_listener(listener)
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, doc_id: str) -> Dict[str, Any]:
+        return self.shard_for(doc_id).get(doc_id)
+
+    def get_or_none(self, doc_id: str) -> Optional[Dict[str, Any]]:
+        return self.shard_for(doc_id).get_or_none(doc_id)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self.shard_for(doc_id)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def all_doc_ids(self) -> List[str]:
+        """Live ids in stable insertion order, merged across shards.
+
+        The order key is the store-wide sequence each document was
+        created at, so the result is identical to an unsharded database
+        holding the same write history (see :meth:`Database.all_doc_ids`).
+        """
+        merged: List[Tuple[int, str]] = []
+        for shard in self.shards:
+            merged.extend(shard._ordered_ids())
+        merged.sort()
+        return [doc_id for _order, doc_id in merged]
+
+    def all_docs(self) -> List[Dict[str, Any]]:
+        """Live documents, labels re-attached, in :meth:`all_doc_ids` order."""
+        return [self.get(doc_id) for doc_id in self.all_doc_ids()]
+
+    # -- views ---------------------------------------------------------------------
+
+    def define_view(
+        self,
+        name: str,
+        map_function: MapFunction,
+        reduce_function: Optional[ReduceFunction] = None,
+    ) -> None:
+        """Register a view on every shard (same incremental index per shard)."""
+        for shard in self.shards:
+            shard.define_view(name, map_function, reduce_function)
+
+    def view(
+        self,
+        name: str,
+        key: Any = None,
+        include_docs: bool = False,
+        clearance: Optional[LabelSet] = None,
+        reduce: bool = False,
+    ) -> Any:
+        """Query a view across all shards (see :meth:`Database.view`).
+
+        Map rows are merged in ascending document-id order (shards hold
+        disjoint ids, so a k-way merge of per-shard sorted rows is
+        exact). With ``reduce=True``, each shard reduces its own rows
+        and the partials are re-reduced (``rereduce=True``).
+        """
+        if reduce:
+            return self._reduce(name, key, clearance)
+        shard_rows = [
+            shard.view(name, key=key, include_docs=include_docs, clearance=clearance)
+            for shard in self.shards
+        ]
+        merged: List[ViewRow] = []
+        for rows in shard_rows:
+            merged.extend(rows)
+        merged.sort(key=_row_doc_id)
+        return merged
+
+    def _reduce(self, name: str, key: Any, clearance: Optional[LabelSet]) -> Any:
+        reduce_function: Optional[ReduceFunction] = None
+        partials: List[Any] = []
+        for shard in self.shards:
+            view = shard._views.get(name)
+            if view is None:
+                raise DocumentNotFound(f"no view {name!r} in database {self.name!r}")
+            if view.reduce_function is None:
+                raise SafeWebError("view has no reduce function")
+            reduce_function = view.reduce_function
+            has_rows, partial = shard._reduce_partial(name, key, clearance)
+            if has_rows:
+                partials.append(partial)
+        if not partials:
+            return reduce_function([], [], False)
+        if len(partials) == 1:
+            return partials[0]
+        return reduce_function(None, partials, True)
+
+    # -- changes feed ------------------------------------------------------------------
+
+    @property
+    def update_seq(self) -> int:
+        """The store-wide sequence (total writes across every shard)."""
+        return self._sequence.value
+
+    def changes(self, since: int = 0) -> List[Change]:
+        """Merged changes feed after *since*, ascending by global sequence.
+
+        Shards hold disjoint documents and share the sequence allocator,
+        so per-shard deduplicated feeds concatenate into one globally
+        deduplicated, strictly increasing feed.
+        """
+        merged: List[Change] = []
+        for shard in self.shards:
+            merged.extend(shard.changes(since=since))
+        merged.sort(key=lambda change: change.seq)
+        return merged
+
+    def raw_document(self, doc_id: str) -> Optional[_StoredDocument]:
+        return self.shard_for(doc_id).raw_document(doc_id)
+
+    def raw_documents(self, doc_ids: Sequence[str]) -> List[Optional[_StoredDocument]]:
+        return [self.shard_for(doc_id).raw_document(doc_id) for doc_id in doc_ids]
+
+    # -- maintenance -------------------------------------------------------------
+
+    def document_labels(self, doc_id: str) -> Any:
+        return self.shard_for(doc_id).document_labels(doc_id)
+
+
+def _row_doc_id(row: ViewRow) -> str:
+    return row.doc_id
+
+
+#: Either database flavour — everything downstream (models, replication,
+#: storage units, the portal) is written against this common surface.
+DocumentDatabase = Union[Database, ShardedDatabase]
+
+
+def make_database(name: str, read_only: bool = False, shards: int = 1) -> DocumentDatabase:
+    """The one construction dispatch: ``shards > 1`` yields a
+    :class:`ShardedDatabase`, else a plain :class:`Database`."""
+    if shards > 1:
+        return ShardedDatabase(name, shards=shards, read_only=read_only)
+    return Database(name, read_only=read_only)
+
+
 class DocumentStore:
     """A server holding named databases (the CouchDB instance analogue)."""
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._databases: Dict[str, Database] = {}
+        self._databases: Dict[str, DocumentDatabase] = {}
 
-    def create(self, name: str, read_only: bool = False) -> Database:
+    def create(self, name: str, read_only: bool = False, shards: int = 1) -> DocumentDatabase:
+        """Create a database; ``shards > 1`` yields a :class:`ShardedDatabase`."""
         with self._lock:
             if name in self._databases:
                 raise SafeWebError(f"database {name!r} already exists")
-            database = Database(name, read_only=read_only)
+            database = make_database(name, read_only=read_only, shards=shards)
             self._databases[name] = database
             return database
 
-    def get(self, name: str) -> Database:
+    def get(self, name: str) -> DocumentDatabase:
         with self._lock:
             try:
                 return self._databases[name]
             except KeyError:
                 raise DocumentNotFound(f"no database {name!r}") from None
 
-    def get_or_create(self, name: str, read_only: bool = False) -> Database:
+    def get_or_create(self, name: str, read_only: bool = False, shards: int = 1) -> DocumentDatabase:
         with self._lock:
             if name not in self._databases:
-                self._databases[name] = Database(name, read_only=read_only)
+                self._databases[name] = make_database(
+                    name, read_only=read_only, shards=shards
+                )
             return self._databases[name]
 
     def drop(self, name: str) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,46 @@ class MainDatabase:
             self._treatments_by_tumour.setdefault(treatment.tumour_id, []).append(
                 treatment.treatment_id
             )
+
+    def bulk_load(
+        self,
+        patients: Iterable[Patient] = (),
+        tumours: Iterable[Tumour] = (),
+        treatments: Iterable[Treatment] = (),
+    ) -> None:
+        """Insert many rows under one lock acquisition.
+
+        Referential order is enforced within the call (patients before
+        tumours before treatments), matching the per-row insert checks.
+        The workload generator uses this so building a large synthetic
+        registry is one critical section, not one per row.
+        """
+        with self._lock:
+            for patient in patients:
+                if patient.patient_id in self._patients:
+                    raise ValueError(f"duplicate patient {patient.patient_id!r}")
+                self._patients[patient.patient_id] = patient
+                self._patients_by_mdt.setdefault(patient.mdt_id, []).append(
+                    patient.patient_id
+                )
+            for tumour in tumours:
+                if tumour.patient_id not in self._patients:
+                    raise ValueError(
+                        f"tumour references unknown patient {tumour.patient_id!r}"
+                    )
+                self._tumours[tumour.tumour_id] = tumour
+                self._tumours_by_patient.setdefault(tumour.patient_id, []).append(
+                    tumour.tumour_id
+                )
+            for treatment in treatments:
+                if treatment.tumour_id not in self._tumours:
+                    raise ValueError(
+                        f"treatment references unknown tumour {treatment.tumour_id!r}"
+                    )
+                self._treatments[treatment.treatment_id] = treatment
+                self._treatments_by_tumour.setdefault(treatment.tumour_id, []).append(
+                    treatment.treatment_id
+                )
 
     # -- queries ---------------------------------------------------------------
 

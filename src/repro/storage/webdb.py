@@ -16,7 +16,7 @@ import secrets
 import sqlite3
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.principals import UserPrincipal
 from repro.core.privileges import PRIVILEGE_KINDS, PrivilegeSet
@@ -164,6 +164,26 @@ class WebDatabase:
             self._connection.execute(
                 "INSERT OR IGNORE INTO label_privileges (u_id, kind, label) VALUES (?, ?, ?)",
                 (user_id, kind, label_uri),
+            )
+            self._connection.commit()
+
+    def grant_label_privileges(
+        self, user_id: int, grants: Iterable[Tuple[str, str]]
+    ) -> None:
+        """Batch grant of ``(kind, label_uri)`` pairs: one ``executemany``
+        and one commit instead of a transaction per grant (provisioning a
+        portal user touches dozens of clearance rows)."""
+        rows = []
+        for kind, label_uri in grants:
+            if kind not in PRIVILEGE_KINDS:
+                raise SafeWebError(f"unknown privilege kind {kind!r}")
+            rows.append((user_id, kind, label_uri))
+        if not rows:
+            return
+        with self._lock:
+            self._connection.executemany(
+                "INSERT OR IGNORE INTO label_privileges (u_id, kind, label) VALUES (?, ?, ?)",
+                rows,
             )
             self._connection.commit()
 

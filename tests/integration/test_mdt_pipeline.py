@@ -189,3 +189,53 @@ class TestDeploymentSecurity:
         deployment.aggregate()
         deployment.replicate()
         assert len(deployment.app_db) == before
+
+
+class TestShardedDeployment:
+    """The full Figure 4 pipeline over sharded application databases."""
+
+    @pytest.fixture(scope="class")
+    def sharded(self) -> MdtDeployment:
+        deployment = MdtDeployment(
+            WorkloadConfig(num_regions=2, mdts_per_region=2, patients_per_mdt=5, seed=7),
+            shards=4,
+        )
+        deployment.run_pipeline()
+        return deployment
+
+    def test_same_documents_as_unsharded(self, deployment, sharded):
+        assert sorted(sharded.app_db.all_doc_ids()) == sorted(
+            deployment.app_db.all_doc_ids()
+        )
+        for doc_id in deployment.app_db.all_doc_ids():
+            flat = deployment.app_db.get(doc_id)
+            shard = sharded.app_db.get(doc_id)
+            # Other tests re-run the unsharded pipeline (bumping _rev);
+            # content and labels must match field for field.
+            assert set(flat) == set(shard)
+            for field in flat:
+                if field == "_rev":
+                    continue
+                assert flat[field] == shard[field]
+                assert labels_of(flat[field]) == labels_of(shard[field])
+
+    def test_replication_reaches_sharded_dmz(self, sharded):
+        assert sorted(sharded.dmz_db.all_doc_ids()) == sorted(
+            sharded.app_db.all_doc_ids()
+        )
+        with pytest.raises(ReadOnlyError):
+            sharded.dmz_db.put({"_id": "evil", "x": 1})
+
+    def test_portal_serves_identical_records(self, deployment, sharded):
+        flat_response = deployment.client_for("mdt1").get("/records/1")
+        sharded_response = sharded.client_for("mdt1").get("/records/1")
+        assert sharded_response.status == flat_response.status == 200
+        assert sharded_response.json() == flat_response.json()
+
+    def test_reduce_view_counts_records(self, sharded):
+        records = [
+            doc_id
+            for doc_id in sharded.app_db.all_doc_ids()
+            if doc_id.startswith("record-")
+        ]
+        assert sharded.app_db.view("records/count_by_mid", reduce=True) == len(records)

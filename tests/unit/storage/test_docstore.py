@@ -72,12 +72,25 @@ class TestCrud:
         db.put({"_id": "r1", "n": 2})
         assert db.get("r1")["n"] == 2
 
-    def test_len_and_ids(self, db):
+    def test_len_and_ids_insertion_order(self, db):
         db.put({"_id": "b", "n": 1})
         db.put({"_id": "a", "n": 2})
         assert len(db) == 2
+        # Stable insertion (sequence) order, not lexicographic.
+        assert db.all_doc_ids() == ["b", "a"]
+        assert [d["_id"] for d in db.all_docs()] == ["b", "a"]
+
+    def test_ids_order_stable_across_updates_and_recreation(self, db):
+        first = db.put({"_id": "b", "n": 1})
+        db.put({"_id": "a", "n": 2})
+        db.put({"_id": "b", "_rev": first["rev"], "n": 3})
+        # Updates keep the document's slot…
+        assert db.all_doc_ids() == ["b", "a"]
+        updated = db.get("b")["_rev"]
+        db.delete("b", updated)
+        db.put({"_id": "b", "n": 4})
+        # …but recreating a deleted id appends it.
         assert db.all_doc_ids() == ["a", "b"]
-        assert [d["_id"] for d in db.all_docs()] == ["a", "b"]
 
     def test_non_json_value_rejected(self, db):
         with pytest.raises(TypeError):
@@ -226,3 +239,28 @@ class TestDocumentStore:
         store.create("app")
         store.drop("app")
         assert store.names() == []
+
+
+class TestChangeListenerContract:
+    def test_upsert_notifies_after_lock_released(self, db):
+        """Listeners run with the store lock free (they may hand off to
+        other threads that read the database)."""
+        import threading
+
+        probe_results = []
+
+        def listener(changes):
+            def probe():
+                acquired = db._lock.acquire(timeout=1)
+                probe_results.append(acquired)
+                if acquired:
+                    db._lock.release()
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+
+        db.add_change_listener(listener)
+        db.upsert({"_id": "r1", "n": 1})
+        db.upsert({"_id": "r1", "n": 2})
+        assert probe_results == [True, True]
