@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Web frontend perf snapshot: routing / page generation / server → JSON.
+
+Runs the frontend-focused measurements outside pytest and appends one
+entry to ``BENCH_web.json`` in the repo root (the web sibling of
+``scripts/bench_broker.py`` / ``bench_taint.py`` / ``bench_storage.py``):
+
+    python scripts/bench_web.py            # full run
+    python scripts/bench_web.py --quick    # smaller request counts
+
+Every entry is self-contained pre/post evidence: the same MDT workload
+is served through the **seed request path** (linear regex router,
+per-request PBKDF2 authentication + privilege fetch, no page cache,
+per-connection-thread HTTP server) and through the refactored path
+(compiled trie router, generation-cached credentials/privileges,
+clearance-keyed page cache, bounded worker-pool keep-alive server), so
+one snapshot shows the whole seed→tuned trajectory on this machine:
+
+* **router** — µs per match on the portal's route table and on a wide
+  synthetic table, linear scan vs compiled trie;
+* **page** — authenticated page-generation latency over the in-process
+  client (what the paper's §5.3 measures) in three configurations:
+  seed, cached-privilege path (auth cache only — the page is still
+  generated every time), and the full path with a warm page cache;
+* **server** — requests/second under concurrent keep-alive HTTP
+  clients: seed server + seed portal vs worker-pool server + tuned
+  portal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.timing import measure_latency  # noqa: E402
+from repro.mdt.deployment import MdtDeployment  # noqa: E402
+from repro.mdt.workload import WorkloadConfig  # noqa: E402
+from repro.web.auth import encode_basic  # noqa: E402
+from repro.web.framework import Route, SafeWebApp  # noqa: E402
+from repro.web.http import HttpServer, ThreadedHttpServer  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "BENCH_web.json"
+
+CONFIG = WorkloadConfig(num_regions=2, mdts_per_region=2, patients_per_mdt=10, seed=97)
+
+
+def build_deployment(
+    compiled_router: bool, cached_auth: bool, page_cache: bool
+) -> MdtDeployment:
+    deployment = MdtDeployment(
+        config=CONFIG,
+        compiled_router=compiled_router,
+        cached_auth=cached_auth,
+        page_cache=page_cache,
+    )
+    deployment.run_pipeline()
+    return deployment
+
+
+# -- router ------------------------------------------------------------------
+
+
+def synthetic_routes(width: int):
+    routes = []
+    for index in range(width):
+        routes.append(("GET", f"/api/v1/resource{index}/:id"))
+        routes.append(("POST", f"/api/v1/resource{index}/:id/actions/:action"))
+    routes.append(("GET", "/static/*"))
+    return routes
+
+
+def measure_router(iterations: int) -> dict:
+    results = {}
+    for name, table in (
+        ("portal", None),
+        ("synthetic40", synthetic_routes(40)),
+    ):
+        app = SafeWebApp()
+        if table is None:
+            deployment = build_deployment(True, True, False)
+            app._routes = list(deployment.portal._routes)
+            paths = [("GET", "/"), ("GET", "/records/3"), ("GET", "/compare/2"),
+                     ("POST", "/feedback"), ("GET", "/nowhere")]
+        else:
+            for method, pattern in table:
+                app.route(method, pattern)(lambda request: "x")
+            paths = [
+                ("GET", "/api/v1/resource39/77"),
+                ("POST", "/api/v1/resource20/5/actions/close"),
+                ("GET", "/static/css/site.css"),
+                ("GET", "/api/v1/missing/1"),
+            ]
+
+        def run(matcher):
+            def once():
+                for method, path in paths:
+                    matcher(method, path)
+            return once
+
+        linear = measure_latency(run(app.match_reference), iterations=iterations, warmup=50)
+        app.compiled_router = True
+        app._trie = None
+        trie = measure_latency(run(app.match), iterations=iterations, warmup=50)
+        results[f"{name}_linear_us"] = round(linear.mean * 1e6, 2)
+        results[f"{name}_trie_us"] = round(trie.mean * 1e6, 2)
+        results[f"{name}_speedup"] = round(linear.mean / trie.mean, 2)
+    return results
+
+
+# -- page generation ---------------------------------------------------------
+
+
+def measure_pages(iterations: int) -> dict:
+    results = {}
+    variants = {
+        "seed": build_deployment(False, False, False),
+        "cached_priv": build_deployment(True, True, False),
+        "full": build_deployment(True, True, True),
+    }
+    for name, deployment in variants.items():
+        client = deployment.client_for("mdt1")
+        for label_, path in (("front_page", "/"), ("records", "/records/1")):
+            stats = measure_latency(
+                lambda: client.get(path),
+                iterations=iterations,
+                warmup=20,
+            )
+            results[f"{name}_{label_}_us"] = round(stats.mean * 1e6, 2)
+    for label_ in ("front_page", "records"):
+        results[f"cached_priv_{label_}_speedup"] = round(
+            results[f"seed_{label_}_us"] / results[f"cached_priv_{label_}_us"], 2
+        )
+        results[f"full_{label_}_speedup"] = round(
+            results[f"seed_{label_}_us"] / results[f"full_{label_}_us"], 2
+        )
+    return results
+
+
+# -- server throughput -------------------------------------------------------
+
+
+def drive_clients(server, deployment, clients: int, requests_each: int) -> float:
+    """Wall-clock seconds for `clients` keep-alive workers to finish."""
+    host, port = server.address
+    errors = []
+
+    def worker(index: int) -> None:
+        username = f"mdt{index % 4 + 1}"
+        auth = encode_basic(username, deployment.password_of(username))
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for _ in range(requests_each):
+                connection.request("GET", "/", headers={"Authorization": auth})
+                response = connection.getresponse()
+                body = response.read()
+                if response.status != 200 or not body:
+                    errors.append(response.status)
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"bench requests failed: {errors[:5]}")
+    return elapsed
+
+
+def measure_server(clients: int, requests_each: int) -> dict:
+    results = {"clients": clients, "requests_each": requests_each}
+
+    seed_deployment = build_deployment(False, False, False)
+    seed_server = ThreadedHttpServer(seed_deployment.portal).start()
+    try:
+        elapsed = drive_clients(seed_server, seed_deployment, clients, requests_each)
+        results["seed_requests_per_s"] = round(clients * requests_each / elapsed)
+    finally:
+        seed_server.stop()
+
+    tuned_deployment = build_deployment(True, True, True)
+    tuned_server = HttpServer(tuned_deployment.portal, workers=clients * 2).start()
+    try:
+        elapsed = drive_clients(tuned_server, tuned_deployment, clients, requests_each)
+        results["tuned_requests_per_s"] = round(clients * requests_each / elapsed)
+    finally:
+        tuned_server.stop()
+
+    results["speedup"] = round(
+        results["tuned_requests_per_s"] / results["seed_requests_per_s"], 2
+    )
+    return results
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller request counts for a smoke run"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="result file to append to"
+    )
+    parser.add_argument(
+        "--note", default="", help="free-form tag recorded with the entry"
+    )
+    args = parser.parse_args()
+
+    iterations = 40 if args.quick else 150
+    router_iterations = 400 if args.quick else 2000
+    clients = 8
+    requests_each = 25 if args.quick else 100
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "revision": git_revision(),
+        "note": args.note,
+        "config": {
+            "workload": "2 regions x 2 MDTs x 10 patients",
+            "page_iterations": iterations,
+            "router_iterations": router_iterations,
+        },
+        "router": measure_router(router_iterations),
+        "page": measure_pages(iterations),
+        "server": measure_server(clients, requests_each),
+    }
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,12 +32,14 @@ from repro.mdt.workload import MdtDirectory
 from repro.storage.docstore import Database
 from repro.storage.webdb import WebDatabase
 from repro.taint import json_codec
-from repro.web.auth import BasicAuthenticator
+from repro.web.auth import BasicAuthenticator, CachingAuthenticator
 from repro.web.framework import SafeWebApp, halt
 from repro.web.middleware import SafeWebMiddleware, timed
+from repro.web.pagecache import PageCache
 from repro.web.request import Request
 from repro.web.response import Response
-from repro.web.templates import Template
+from repro.web.sessions import DocStoreSessionStore, SessionMiddleware
+from repro.web.templates import TemplateRegistry
 
 #: The §5.2 vulnerability injections understood by :func:`build_portal`.
 PORTAL_VULNERABILITIES = (
@@ -46,8 +48,7 @@ PORTAL_VULNERABILITIES = (
     "inappropriate_access_check",  # Listing 3 line 7 (clinic equality) removed
 )
 
-FRONT_PAGE_TEMPLATE = Template(
-    """<!DOCTYPE html>
+FRONT_PAGE_SOURCE = """<!DOCTYPE html>
 <html>
 <head><title>MDT Portal</title></head>
 <body>
@@ -70,12 +71,9 @@ FRONT_PAGE_TEMPLATE = Template(
 </table>
 </body>
 </html>
-""",
-    name="front-page",
-)
+"""
 
-COMPARE_TEMPLATE = Template(
-    """<!DOCTYPE html>
+COMPARE_SOURCE = """<!DOCTYPE html>
 <html>
 <head><title>MDT <%= mdt_id %> vs <%= region %></title></head>
 <body>
@@ -87,9 +85,12 @@ COMPARE_TEMPLATE = Template(
 </table>
 </body>
 </html>
-""",
-    name="compare-page",
-)
+"""
+
+#: The portal's page layouts, compiled on first use and cached by name.
+PORTAL_TEMPLATES = TemplateRegistry()
+PORTAL_TEMPLATES.register("front-page", FRONT_PAGE_SOURCE)
+PORTAL_TEMPLATES.register("compare-page", COMPARE_SOURCE)
 
 
 def build_portal(
@@ -100,21 +101,73 @@ def build_portal(
     vulnerability: Optional[str] = None,
     check_labels: bool = True,
     check_taint: bool = True,
+    compiled_router: bool = True,
+    cached_auth: bool = True,
+    page_cache: bool = True,
+    sessions: bool = True,
+    session_db=None,
 ) -> Tuple[SafeWebApp, SafeWebMiddleware]:
-    """Assemble the portal app with the SafeWeb middleware installed."""
+    """Assemble the portal app with the SafeWeb middleware installed.
+
+    The default configuration is the refactored fast path: trie routing,
+    the caching authenticator, cookie sessions on the sharded document
+    store and the clearance-keyed page cache (only when the label check
+    is active — the cache's release decision *is* the label check, so a
+    baseline deployment must regenerate every page). Every switch can be
+    turned off to recover the seed request path; the web benchmark
+    measures both configurations.
+    """
     if vulnerability is not None and vulnerability not in PORTAL_VULNERABILITIES:
         raise SafeWebError(f"unknown portal vulnerability {vulnerability!r}")
 
-    app = SafeWebApp("mdt-portal")
-    authenticator = BasicAuthenticator(webdb)
+    app = SafeWebApp("mdt-portal", compiled_router=compiled_router)
+    authenticator_cls = CachingAuthenticator if cached_auth else BasicAuthenticator
+    authenticator = authenticator_cls(webdb)
+    public_paths = {"/health"}
+    if sessions:
+        public_paths.add("/login")
     middleware = SafeWebMiddleware(
         authenticator,
         audit=audit,
-        public_paths={"/health"},
+        public_paths=public_paths,
         check_labels=check_labels,
         check_taint=check_taint,
     )
+    session_middleware = None
+    if sessions:
+        session_store = DocStoreSessionStore(database=session_db)
+        session_middleware = SessionMiddleware(
+            webdb, middleware, audit=audit, session_store=session_store
+        )
+        # Sessions first: a valid cookie authenticates before the Basic
+        # auth hook runs, and CSRF guards every state-changing portal
+        # route (POST /feedback, POST /admin/mdts) for cookie principals.
+        session_middleware.install(app)
     middleware.install(app)
+
+    cache = None
+    if page_cache and check_labels:
+        cache = PageCache(audit=audit)
+        # Cache policy per route: a hit skips the handler, so any route
+        # whose handler enforces checks *beyond* the IFC label set (the
+        # Listing 3 ACL on /records, the region-equality checks, the
+        # per-user front page) must vary on the principal — the entry is
+        # then only ever replayed to a user who already passed that
+        # handler's checks for these exact params. /region has no
+        # handler-level check, so its pages are shared across principals
+        # purely under label dominance.
+        cache.cacheable("/", vary_user=True)
+        cache.cacheable("/records/:mid", vary_user=True)
+        cache.cacheable("/metrics/:mid", vary_user=True)
+        cache.cacheable("/region/:region")
+        cache.cacheable("/compare/:mid", vary_user=True)
+        cache.install(app)  # after the middleware: lookup sees the principal
+        cache.attach_store(app_db)
+
+    #: Introspection handles for tests, benchmarks and operators.
+    app.page_cache = cache
+    app.session_middleware = session_middleware
+    app.authenticator = authenticator
 
     # -- helpers ---------------------------------------------------------------
 
@@ -165,7 +218,8 @@ def build_portal(
         records = fetch_records(mid)
         metric = fetch_metric(f"metric-mdt-{mid}") or {}
         with timed(request, "template_rendering"):
-            page = FRONT_PAGE_TEMPLATE.render(
+            page = PORTAL_TEMPLATES.render(
+                "front-page",
                 mdt_id=mid,
                 hospital=info.hospital,
                 clinic=info.clinic,
@@ -220,7 +274,8 @@ def build_portal(
         mdt_metric = fetch_metric(f"metric-mdt-{mid}") or {}
         region_metric = fetch_metric(f"metric-region-{info.region}") or {}
         with timed(request, "template_rendering"):
-            page = COMPARE_TEMPLATE.render(
+            page = PORTAL_TEMPLATES.render(
+                "compare-page",
                 mdt_id=mid,
                 region=info.region,
                 mdt_completeness=mdt_metric.get("completeness", "n/a"),

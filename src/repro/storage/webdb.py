@@ -82,11 +82,30 @@ class WebDatabase:
     def __init__(self, path: str = ":memory:", password_iterations: int = DEFAULT_PASSWORD_ITERATIONS):
         self._lock = threading.RLock()
         self._password_iterations = password_iterations
+        self._generation = 0
         self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.row_factory = sqlite3.Row
         with self._lock:
             self._connection.executescript(_SCHEMA)
             self._connection.commit()
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every user/privilege mutation.
+
+        The frontend's privilege-resolution cache
+        (:class:`repro.web.auth.CachingAuthenticator`) keys entries on
+        this value, the same generation-based invalidation the broker
+        uses for :attr:`repro.core.privileges.PrivilegeSet.generation`:
+        a grant or revoke makes every cached principal unreachable, so a
+        revoked privilege can never be served from cache.
+        """
+        with self._lock:
+            return self._generation
+
+    def _bump_generation(self) -> None:
+        """Callers must hold ``self._lock``."""
+        self._generation += 1
 
     def close(self) -> None:
         with self._lock:
@@ -110,6 +129,7 @@ class WebDatabase:
                 "VALUES (?, ?, ?, ?, ?, ?)",
                 (name, salt, digest, mdt, region, int(is_admin)),
             )
+            self._bump_generation()
             self._connection.commit()
             return cursor.lastrowid
 
@@ -165,6 +185,7 @@ class WebDatabase:
                 "INSERT OR IGNORE INTO label_privileges (u_id, kind, label) VALUES (?, ?, ?)",
                 (user_id, kind, label_uri),
             )
+            self._bump_generation()
             self._connection.commit()
 
     def grant_label_privileges(
@@ -185,6 +206,7 @@ class WebDatabase:
                 "INSERT OR IGNORE INTO label_privileges (u_id, kind, label) VALUES (?, ?, ?)",
                 rows,
             )
+            self._bump_generation()
             self._connection.commit()
 
     def revoke_label_privilege(self, user_id: int, kind: str, label_uri: str) -> None:
@@ -193,6 +215,7 @@ class WebDatabase:
                 "DELETE FROM label_privileges WHERE u_id = ? AND kind = ? AND label = ?",
                 (user_id, kind, label_uri),
             )
+            self._bump_generation()
             self._connection.commit()
 
     def privileges_for(self, user_id: int) -> PrivilegeSet:
@@ -232,6 +255,7 @@ class WebDatabase:
                 "INSERT INTO acl_privileges (u_id, hospital, clinic) VALUES (?, ?, ?)",
                 (user_id, hospital, clinic),
             )
+            self._bump_generation()
             self._connection.commit()
 
     def count_privileges(self, **conditions) -> int:

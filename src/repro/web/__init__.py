@@ -11,22 +11,30 @@ unmodified — labels travel through it via the taint-tracking types.
 from repro.web.request import Request
 from repro.web.response import Response
 from repro.web.framework import SafeWebApp, halt
-from repro.web.templates import Template, render
-from repro.web.auth import BasicAuthenticator
+from repro.web.routing import TrieRouter
+from repro.web.templates import Template, TemplateRegistry, render
+from repro.web.auth import BasicAuthenticator, CachingAuthenticator
 from repro.web.middleware import SafeWebMiddleware
-from repro.web.sessions import SessionMiddleware
-from repro.web.http import HttpServer, TestClient
+from repro.web.pagecache import PageCache
+from repro.web.sessions import DocStoreSessionStore, SessionMiddleware
+from repro.web.http import HttpServer, TestClient, ThreadedHttpServer
 
 __all__ = [
     "Request",
     "Response",
     "SafeWebApp",
     "halt",
+    "TrieRouter",
     "Template",
+    "TemplateRegistry",
     "render",
     "BasicAuthenticator",
+    "CachingAuthenticator",
     "SafeWebMiddleware",
+    "PageCache",
+    "DocStoreSessionStore",
     "SessionMiddleware",
     "HttpServer",
+    "ThreadedHttpServer",
     "TestClient",
 ]

@@ -30,8 +30,11 @@ from repro.exceptions import (
 from repro.taint.sanitize import SanitisationError
 from repro.web.request import Request
 from repro.web.response import Response
+from repro.web.routing import TrieRouter, _PARAM_RE
 
-_PARAM_RE = re.compile(r":([A-Za-z_][A-Za-z0-9_]*)")
+#: ``request.env`` key carrying the matched route's pattern (read by the
+#: page cache to key entries on the route rather than the raw path).
+ROUTE_ENV_KEY = "safeweb.route"
 
 
 def halt(status: int = 500, body: str = "", headers: Optional[Dict[str, str]] = None):
@@ -73,11 +76,21 @@ class Route:
 
 
 class SafeWebApp:
-    """Route table + filter chain; instances are WSGI-free callables."""
+    """Route table + filter chain; instances are WSGI-free callables.
 
-    def __init__(self, name: str = "safeweb-app"):
+    Dispatch runs on a :class:`~repro.web.routing.TrieRouter` compiled
+    lazily from the route table (and invalidated by further route
+    registration); the seed linear regex scan is preserved as
+    :meth:`match_reference` and stays property-tested equivalent. Set
+    ``compiled_router=False`` to dispatch through the reference matcher
+    (the benchmarks' seed configuration).
+    """
+
+    def __init__(self, name: str = "safeweb-app", compiled_router: bool = True):
         self.name = name
+        self.compiled_router = compiled_router
         self._routes: List[Route] = []
+        self._trie: Optional[TrieRouter] = None
         self._before: List[Callable[[Request], None]] = []
         self._after: List[Callable[[Request, Response], Optional[Response]]] = []
         self._error_handlers: Dict[type, Callable] = {}
@@ -87,6 +100,7 @@ class SafeWebApp:
     def route(self, method: str, pattern: str):
         def decorator(handler: Callable):
             self._routes.append(Route(method.upper(), pattern, handler))
+            self._trie = None  # recompiled lazily on next dispatch
             return handler
 
         return decorator
@@ -122,6 +136,36 @@ class SafeWebApp:
 
         return decorator
 
+    # -- matching -----------------------------------------------------------------
+
+    def match_reference(
+        self, method: str, path: str
+    ) -> Optional[Tuple["Route", Dict[str, str]]]:
+        """The seed matcher: linear scan, one regex per route.
+
+        Kept as the executable specification the trie is property-tested
+        against (``tests/property/test_router.py``).
+        """
+        for route in self._routes:
+            captures = route.match(method, path)
+            if captures is not None:
+                return route, captures
+        return None
+
+    def _compiled(self) -> TrieRouter:
+        trie = self._trie
+        if trie is None:
+            trie = TrieRouter()
+            for order, route in enumerate(self._routes):
+                trie.add(route.method, route.pattern, route, order)
+            self._trie = trie
+        return trie
+
+    def match(self, method: str, path: str) -> Optional[Tuple["Route", Dict[str, str]]]:
+        if self.compiled_router:
+            return self._compiled().match(method, path)
+        return self.match_reference(method, path)
+
     # -- dispatch -----------------------------------------------------------------
 
     def __call__(self, request: Request) -> Response:
@@ -134,16 +178,20 @@ class SafeWebApp:
         return self._apply_after(request, response)
 
     def _dispatch(self, request: Request) -> Response:
-        for route in self._routes:
-            captures = route.match(request.method, request.path)
-            if captures is None:
-                continue
-            request.add_route_params(captures)
-            for filter_func in self._before:
-                filter_func(request)
-            result = route.handler(request)
-            return Response.coerce(result)
-        return Response(body="not found", status=404, content_type="text/plain")
+        found = self.match(request.method, request.path)
+        if found is None and request.method == "HEAD":
+            # HEAD falls back to the GET route (RFC 9110 §9.3.2); the
+            # HTTP servers drop the body and keep the headers.
+            found = self.match("GET", request.path)
+        if found is None:
+            return Response(body="not found", status=404, content_type="text/plain")
+        route, captures = found
+        request.env[ROUTE_ENV_KEY] = route.pattern
+        request.add_route_params(captures)
+        for filter_func in self._before:
+            filter_func(request)
+        result = route.handler(request)
+        return Response.coerce(result)
 
     def _apply_after(self, request: Request, response: Response) -> Response:
         try:

@@ -1,9 +1,24 @@
-"""HTTP plumbing: a threaded server and an in-process test client.
+"""HTTP plumbing: a worker-pool keep-alive server, the seed threaded
+server (kept as the benchmark reference) and an in-process test client.
 
-The server adapts :class:`http.server.ThreadingHTTPServer` to the
-framework's ``Request -> Response`` callable; TLS is a matter of wrapping
-the listening socket with an ``ssl.SSLContext`` (the paper's frontend
-runs HTTP Basic over TLS).
+:class:`HttpServer` is the production path: a fixed pool of worker
+threads each running an accept → serve loop over persistent HTTP/1.1
+connections. One connection occupies one worker for its lifetime, so the
+pool size bounds concurrency (the kernel backlog absorbs bursts) and no
+thread is ever spawned per connection. Requests are read from a buffered
+socket file, which makes pipelined requests work for free; responses
+carry correct ``Content-Length``/``Connection`` headers, ``HEAD`` is
+served headers-only off the ``GET`` route, request bodies stay bytes
+until a handler asks for text, and payloads above ``stream_threshold``
+are streamed with chunked transfer-encoding so one huge labeled page
+cannot hold a multi-megabyte buffer per connection. TLS wraps each
+accepted socket (handshake on the worker, not the acceptor).
+
+:class:`ThreadedHttpServer` is the seed architecture — stock
+``ThreadingHTTPServer``, one thread per connection — preserved as the
+reference the web benchmark (``scripts/bench_web.py``) compares against,
+with the handler bugs fixed (HEAD support, ``Connection: close``,
+binary-safe bodies).
 
 :class:`TestClient` drives an app without sockets. Tests and the page-
 generation benchmark use it so measurements capture *page generation*
@@ -12,24 +27,313 @@ generation benchmark use it so measurements capture *page generation*
 
 from __future__ import annotations
 
+import socket
 import ssl
 import threading
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.web.auth import encode_basic
 from repro.web.request import Request
 from repro.web.response import Response
 
+_MAX_LINE = 65536
+_MAX_HEADERS = 128
+_SUPPORTED_VERSIONS = ("HTTP/1.1", "HTTP/1.0")
+
+
+class _BadRequest(Exception):
+    """Malformed input on the wire; the connection is answered and closed."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+_ERROR_REASONS = {400: "Bad Request", 413: "Payload Too Large"}
+
+
+class HttpServer:
+    """Serve a SafeWeb app from a bounded pool of keep-alive workers."""
+
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tls_context: Optional[ssl.SSLContext] = None,
+        workers: int = 16,
+        keep_alive_timeout: float = 5.0,
+        max_requests_per_connection: int = 1000,
+        max_body_size: int = 10 * 1024 * 1024,
+        stream_threshold: int = 256 * 1024,
+        chunk_size: int = 64 * 1024,
+        backlog: int = 128,
+    ):
+        self.app = app
+        self.workers = workers
+        self.keep_alive_timeout = keep_alive_timeout
+        self.max_requests_per_connection = max_requests_per_connection
+        self.max_body_size = max_body_size
+        self.stream_threshold = stream_threshold
+        self.chunk_size = chunk_size
+        self._tls_context = tls_context
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        # Workers poll accept() so stop() can wake threads blocked on a
+        # quiet listener (closing an fd does not interrupt accept()).
+        self._listener.settimeout(0.5)
+        self.server_address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._shutdown = threading.Event()
+        self._threads: list = []
+        self._connections: Set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        #: Requests served across all connections (tests/bench read this).
+        self.requests_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HttpServer":
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"safeweb-http-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        self._shutdown.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        with self._connections_lock:
+            open_connections = list(self._connections)
+        for connection in open_connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - racing with the worker
+                pass
+        for thread in self._threads:
+            thread.join(5)
+        self._threads = []
+
+    # -- the worker loop ---------------------------------------------------
+
+    def _worker(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                connection, address = self._listener.accept()
+            except socket.timeout:
+                continue  # poll the shutdown flag
+            except OSError:  # listener closed: shutting down
+                return
+            with self._connections_lock:
+                self._connections.add(connection)
+            try:
+                self._serve_connection(connection, address)
+            except Exception:  # noqa: BLE001 - one bad connection must not kill a worker
+                pass
+            finally:
+                with self._connections_lock:
+                    self._connections.discard(connection)
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+
+    def _serve_connection(self, connection: socket.socket, address) -> None:
+        # Timeout first so a stalled TLS handshake cannot pin the worker.
+        connection.settimeout(self.keep_alive_timeout)
+        if self._tls_context is not None:
+            connection = self._tls_context.wrap_socket(connection, server_side=True)
+        reader = connection.makefile("rb")
+        served = 0
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    parsed = self._read_request(reader)
+                except _BadRequest as bad:
+                    self._write_simple(connection, bad.status, str(bad))
+                    return
+                except (socket.timeout, OSError, ValueError):
+                    return  # idle keep-alive expiry, peer reset, or EOF mid-request
+                if parsed is None:
+                    return  # clean EOF between requests
+                method, target, version, headers, body = parsed
+                served += 1
+                keep_alive = self._keep_alive(version, headers)
+                if served >= self.max_requests_per_connection:
+                    keep_alive = False
+                request = Request(
+                    method=method,
+                    path=target,
+                    headers=headers,
+                    body=body,
+                    remote_addr=address[0] if address else "127.0.0.1",
+                )
+                response = self.app(request)
+                status, response_headers, payload = response.finalize()
+                self.requests_served += 1
+                try:
+                    self._write_response(
+                        connection,
+                        status,
+                        response.reason,
+                        response_headers,
+                        payload,
+                        keep_alive=keep_alive,
+                        head_only=method.upper() == "HEAD",
+                        chunk_allowed=version == "HTTP/1.1",
+                    )
+                except OSError:
+                    return
+                if not keep_alive:
+                    return
+        finally:
+            try:
+                reader.close()
+            except OSError:
+                pass
+
+    # -- request parsing ---------------------------------------------------
+
+    def _read_request(self, reader):
+        """One request from the buffered reader, or None on clean EOF."""
+        line = reader.readline(_MAX_LINE + 1)
+        if not line:
+            return None
+        if len(line) > _MAX_LINE:
+            raise _BadRequest("request line too long")
+        if line in (b"\r\n", b"\n"):
+            # Tolerate a stray CRLF between pipelined requests (RFC 9112 §2.2).
+            line = reader.readline(_MAX_LINE + 1)
+            if not line:
+                return None
+        try:
+            text = line.decode("latin-1").rstrip("\r\n")
+            method, target, version = text.split(" ", 2)
+        except ValueError as error:
+            raise _BadRequest("malformed request line") from error
+        if version not in _SUPPORTED_VERSIONS:
+            raise _BadRequest(f"unsupported version {version!r}")
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS + 1):
+            line = reader.readline(_MAX_LINE + 1)
+            if not line or len(line) > _MAX_LINE:
+                raise _BadRequest("truncated or oversized header block")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, separator, value = line.decode("latin-1").partition(":")
+            if not separator:
+                raise _BadRequest("malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _BadRequest("too many headers")
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _BadRequest("chunked request bodies not supported")
+        length_text = headers.get("content-length", "") or "0"
+        try:
+            length = int(length_text)
+        except ValueError as error:
+            raise _BadRequest("bad Content-Length") from error
+        if length < 0:
+            raise _BadRequest("negative Content-Length")
+        if length > self.max_body_size:
+            # Refuse before buffering: an unauthenticated client must not
+            # be able to hold max_body_size bytes per worker.
+            raise _BadRequest("request body too large", status=413)
+        body = reader.read(length) if length else b""
+        if length and len(body) != length:
+            raise ValueError("peer closed mid-body")
+        return method, target, version, headers, body
+
+    @staticmethod
+    def _keep_alive(version: str, headers: Dict[str, str]) -> bool:
+        connection = headers.get("connection", "").lower()
+        if "close" in connection:
+            return False
+        if version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return True
+
+    # -- response writing --------------------------------------------------
+
+    def _write_response(
+        self,
+        connection: socket.socket,
+        status: int,
+        reason: str,
+        headers: Dict[str, str],
+        payload: bytes,
+        keep_alive: bool,
+        head_only: bool,
+        chunk_allowed: bool,
+    ) -> None:
+        chunked = (
+            chunk_allowed
+            and not head_only
+            and len(payload) > self.stream_threshold
+        )
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        for name, value in headers.items():
+            if chunked and name.lower() == "content-length":
+                continue
+            lines.append(f"{name}: {value}")
+        if chunked:
+            lines.append("Transfer-Encoding: chunked")
+        lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        if head_only:
+            connection.sendall(head)
+            return
+        if not chunked:
+            connection.sendall(head + payload)
+            return
+        connection.sendall(head)
+        for start in range(0, len(payload), self.chunk_size):
+            chunk = payload[start : start + self.chunk_size]
+            connection.sendall(f"{len(chunk):x}\r\n".encode("ascii") + chunk + b"\r\n")
+        connection.sendall(b"0\r\n\r\n")
+
+    @staticmethod
+    def _write_simple(connection: socket.socket, status: int, text: str) -> None:
+        payload = text.encode("utf-8")
+        reason = _ERROR_REASONS.get(status, "Bad Request")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: text/plain\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            connection.sendall(head + payload)
+        except OSError:
+            pass
+
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
-    server: "HttpServer"
+    server: "ThreadedHttpServer"
 
     def _run(self) -> None:
         length = int(self.headers.get("Content-Length") or 0)
-        body = self.rfile.read(length).decode("utf-8") if length else ""
+        # Bytes, undecoded: a binary POST must not crash the handler
+        # thread (the Request decodes lazily, and only if asked).
+        body = self.rfile.read(length) if length else b""
         request = Request(
             method=self.command,
             path=self.path,
@@ -42,10 +346,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         for name, value in headers.items():
             self.send_header(name, value)
+        if (self.headers.get("Connection") or "").lower() == "close":
+            # parse_request already set close_connection; advertise it.
+            self.close_connection = True
+            self.send_header("Connection", "close")
         self.end_headers()
-        self.wfile.write(payload)
+        if self.command != "HEAD":
+            self.wfile.write(payload)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._run()
+
+    def do_HEAD(self) -> None:  # noqa: N802
         self._run()
 
     def do_POST(self) -> None:  # noqa: N802
@@ -61,8 +373,8 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
 
-class HttpServer(ThreadingHTTPServer):
-    """Serve a SafeWeb app over real sockets."""
+class ThreadedHttpServer(ThreadingHTTPServer):
+    """The seed server: one thread per connection (benchmark reference)."""
 
     daemon_threads = True
     allow_reuse_address = True
@@ -89,7 +401,7 @@ class HttpServer(ThreadingHTTPServer):
         host, port = self.server_address
         return f"http://{host}:{port}"
 
-    def start(self) -> "HttpServer":
+    def start(self) -> "ThreadedHttpServer":
         self._thread = threading.Thread(
             target=self.serve_forever, name="safeweb-http", daemon=True
         )

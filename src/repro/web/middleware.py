@@ -132,21 +132,27 @@ class SafeWebMiddleware:
                 "labelled response with no authenticated principal",
                 missing_labels=labels.confidentiality,
             )
-        missing = principal.privileges.missing_clearance(labels)
-        if missing:
-            self._audit.denied(
-                "frontend",
-                "respond",
-                principal.name,
-                labels=LabelSet(missing),
-                detail=f"{request.method} {request.path}",
-            )
-            raise DisclosureError(
-                f"user {principal.name!r} lacks privileges for "
-                f"{sorted(label.uri for label in missing)}",
-                missing_labels=missing,
-            )
-        self._audit.allowed("frontend", "respond", principal.name, labels=labels)
+        # Fast path: clearance decisions are memoized per (labels,
+        # privilege-set) — with the cached authenticator the privilege
+        # set instance persists across requests, so repeat page loads
+        # resolve the whole check on one dictionary hit.
+        privileges = principal.privileges
+        if privileges.clearance_covers(labels):
+            self._audit.allowed("frontend", "respond", principal.name, labels=labels)
+            return
+        missing = privileges.missing_clearance(labels)
+        self._audit.denied(
+            "frontend",
+            "respond",
+            principal.name,
+            labels=LabelSet(missing),
+            detail=f"{request.method} {request.path}",
+        )
+        raise DisclosureError(
+            f"user {principal.name!r} lacks privileges for "
+            f"{sorted(label.uri for label in missing)}",
+            missing_labels=missing,
+        )
 
     def _check_taint(self, request: Request, response: Response) -> None:
         if not response.content_type.startswith("text/html"):

@@ -66,8 +66,13 @@ class Response:
 
     def finalize(self) -> Tuple[int, Dict[str, str], bytes]:
         """Strip labels and encode for the wire (post-check only)."""
-        text = strip_labels(self.body_text())
-        payload = str(text).encode("utf-8")
+        if isinstance(self.body, (bytes, bytearray)):
+            # Byte bodies carry no labels and must reach the wire
+            # unmangled (a UTF-8 round-trip would corrupt binary data).
+            payload = bytes(self.body)
+        else:
+            text = strip_labels(self.body_text())
+            payload = str(text).encode("utf-8")
         headers = dict(self.headers)
         headers["Content-Length"] = str(len(payload))
         return self.status, headers, payload

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import hmac
 import secrets
+import time
 from typing import Optional
 
 from repro.core.audit import AuditLog, default_audit_log
-from repro.exceptions import AuthenticationError, HaltRequest
+from repro.exceptions import AuthenticationError, HaltRequest, SafeWebError
 from repro.storage.webdb import WebDatabase
 from repro.web.framework import SafeWebApp
 from repro.web.middleware import SafeWebMiddleware
@@ -53,6 +54,66 @@ def csrf_token_for(session_token: str) -> str:
     return digest.hexdigest()
 
 
+class DocStoreSessionStore:
+    """Session state in the (sharded) labeled document store.
+
+    The web database's ``sessions`` table is a single-writer SQLite
+    bottleneck under concurrent logins; this store keeps one document
+    per session (``session-<token>``) in a
+    :class:`~repro.storage.docstore.ShardedDatabase`, so session churn
+    scales with the storage tier (PR 3) instead of serialising on the
+    web database lock. It quacks like the ``WebDatabase`` session API
+    (``create_session`` / ``session_user`` / ``delete_session``), so
+    :class:`SessionMiddleware` accepts either.
+    """
+
+    def __init__(self, database=None, shards: int = 4, name: str = "safeweb-sessions"):
+        if database is None:
+            from repro.storage.docstore import make_database
+
+            database = make_database(name, shards=shards)
+        self._db = database
+
+    @staticmethod
+    def _doc_id(token: str) -> str:
+        return f"session-{token}"
+
+    def create_session(self, user_id: int) -> str:
+        token = secrets.token_urlsafe(24)
+        self._db.put(
+            {
+                "_id": self._doc_id(token),
+                "type": "session",
+                "u_id": user_id,
+                "created_at": time.time(),
+            }
+        )
+        return token
+
+    def session_user(self, token: str, max_age: float = 3600.0) -> Optional[int]:
+        document = self._db.get_or_none(self._doc_id(token))
+        if document is None:
+            return None
+        if time.time() - document["created_at"] > max_age:
+            self.delete_session(token)
+            return None
+        return document["u_id"]
+
+    def delete_session(self, token: str) -> None:
+        document = self._db.get_or_none(self._doc_id(token))
+        if document is None:
+            return
+        try:
+            self._db.delete(document["_id"], document["_rev"])
+        except SafeWebError:
+            pass  # concurrent logout already removed it
+
+    def session_count(self) -> int:
+        return sum(
+            1 for doc_id in self._db.all_doc_ids() if doc_id.startswith("session-")
+        )
+
+
 class SessionMiddleware:
     """Login-form sessions + CSRF, layered under the SafeWeb middleware.
 
@@ -69,9 +130,13 @@ class SessionMiddleware:
         audit: Optional[AuditLog] = None,
         session_max_age: float = 3600.0,
         csrf_protect: bool = True,
+        session_store=None,
     ):
         self._webdb = webdb
         self._safeweb = safeweb
+        #: Where session tokens live: the web database by default, or a
+        #: :class:`DocStoreSessionStore` for sharded session state.
+        self._sessions = session_store if session_store is not None else webdb
         self._audit = audit if audit is not None else default_audit_log()
         self._max_age = session_max_age
         self._csrf_protect = csrf_protect
@@ -93,7 +158,7 @@ class SessionMiddleware:
                 self._audit.denied("frontend", "login", username or "?")
                 raise AuthenticationError("bad credentials")
             user_id = self._webdb.user_id(username)
-            token = self._webdb.create_session(user_id)
+            token = self._sessions.create_session(user_id)
             self._audit.allowed("frontend", "login", username)
             response = Response(
                 csrf_token_for(token),
@@ -109,7 +174,7 @@ class SessionMiddleware:
         def logout(request: Request):
             token = request.env.get("safeweb.session_token")
             if token:
-                self._webdb.delete_session(token)
+                self._sessions.delete_session(token)
             response = Response("", status=204)
             response.headers["Set-Cookie"] = (
                 f"{SESSION_COOKIE}=; Max-Age=0; Path=/"
@@ -124,7 +189,7 @@ class SessionMiddleware:
         token = parse_cookies(request.header("cookie")).get(SESSION_COOKIE)
         if not token:
             return
-        user_id = self._webdb.session_user(token, max_age=self._max_age)
+        user_id = self._sessions.session_user(token, max_age=self._max_age)
         if user_id is None:
             return
         row = self._webdb.user_row(user_id)

@@ -29,7 +29,8 @@ paper places in ERB templates.
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List
+import threading
+from typing import Any, Dict, List, Tuple
 
 from repro.exceptions import SafeWebError
 from repro.taint.labeled import combine_sources
@@ -156,3 +157,48 @@ class Template:
 def render(source: str, context: Dict[str, Any] | None = None, **kwargs: Any) -> LabeledStr:
     """One-shot compile-and-render convenience."""
     return Template(source).render(context, **kwargs)
+
+
+class TemplateRegistry:
+    """Named template sources, compiled once and cached by name.
+
+    The portal registers its page sources at import time and resolves
+    them through :meth:`get` per request: the first request compiles,
+    every later one reuses the compiled :class:`Template`. Re-registering
+    a name with different source drops the stale compilation (used by
+    tests and by anything hot-swapping page layouts).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: Dict[str, Tuple[str, bool]] = {}
+        self._compiled: Dict[str, Template] = {}
+        self.compilations = 0
+
+    def register(self, name: str, source: str, auto_escape: bool = True) -> None:
+        with self._lock:
+            if self._sources.get(name) == (source, auto_escape):
+                return
+            self._sources[name] = (source, auto_escape)
+            self._compiled.pop(name, None)
+
+    def get(self, name: str) -> Template:
+        with self._lock:
+            template = self._compiled.get(name)
+            if template is not None:
+                return template
+            try:
+                source, auto_escape = self._sources[name]
+            except KeyError:
+                raise TemplateError(f"unknown template {name!r}") from None
+            template = Template(source, name=name, auto_escape=auto_escape)
+            self._compiled[name] = template
+            self.compilations += 1
+            return template
+
+    def render(self, name: str, context: Dict[str, Any] | None = None, **kwargs: Any) -> LabeledStr:
+        return self.get(name).render(context, **kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._sources

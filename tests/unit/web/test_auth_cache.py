@@ -1,0 +1,92 @@
+"""Unit tests for the caching authenticator (cached enforcement, step 1)."""
+
+import pytest
+
+from repro.core.labels import conf_label
+from repro.core.privileges import CLEARANCE
+from repro.exceptions import AuthenticationError
+from repro.storage import WebDatabase
+from repro.web.auth import CachingAuthenticator, encode_basic
+
+MDT_1 = conf_label("ecric.org.uk", "mdt", "1")
+MDT_2 = conf_label("ecric.org.uk", "mdt", "2")
+
+
+@pytest.fixture()
+def webdb():
+    database = WebDatabase(password_iterations=500)
+    user_id = database.add_user("mdt1", "secret1", mdt="1")
+    database.grant_label_privilege(user_id, CLEARANCE, MDT_1.uri)
+    yield database
+    database.close()
+
+
+class TestCredentialCache:
+    def test_second_verification_is_a_hit(self, webdb):
+        auth = CachingAuthenticator(webdb)
+        header = encode_basic("mdt1", "secret1")
+        auth.verify(header)
+        assert auth.credential_misses == 1
+        row = auth.verify(header)
+        assert auth.credential_hits == 1
+        assert row["name"] == "mdt1"
+
+    def test_wrong_password_rejected_even_when_cached(self, webdb):
+        auth = CachingAuthenticator(webdb)
+        auth.verify(encode_basic("mdt1", "secret1"))
+        with pytest.raises(AuthenticationError):
+            auth.verify(encode_basic("mdt1", "wrong"))
+        # And the correct password still works afterwards.
+        assert auth.verify(encode_basic("mdt1", "secret1"))["name"] == "mdt1"
+
+    def test_unknown_user_never_cached(self, webdb):
+        auth = CachingAuthenticator(webdb)
+        for _ in range(2):
+            with pytest.raises(AuthenticationError):
+                auth.verify(encode_basic("ghost", "x"))
+        assert auth.credential_hits == 0
+
+    def test_user_mutation_invalidates(self, webdb):
+        auth = CachingAuthenticator(webdb)
+        header = encode_basic("mdt1", "secret1")
+        auth.verify(header)
+        webdb.add_user("other", "pw")  # any user-table mutation bumps generation
+        auth.verify(header)
+        assert auth.credential_misses == 2
+
+
+class TestPrincipalCache:
+    def test_principal_instance_reused(self, webdb):
+        auth = CachingAuthenticator(webdb)
+        header = encode_basic("mdt1", "secret1")
+        first = auth.authenticate(header)
+        second = auth.authenticate(header)
+        assert first is second
+        assert auth.principal_hits == 1
+
+    def test_grant_invalidates(self, webdb):
+        auth = CachingAuthenticator(webdb)
+        header = encode_basic("mdt1", "secret1")
+        before = auth.authenticate(header)
+        assert not before.privileges.grants(CLEARANCE, MDT_2)
+        webdb.grant_label_privilege(webdb.user_id("mdt1"), CLEARANCE, MDT_2.uri)
+        after = auth.authenticate(header)
+        assert after is not before
+        assert after.privileges.grants(CLEARANCE, MDT_2)
+
+    def test_revoke_invalidates(self, webdb):
+        auth = CachingAuthenticator(webdb)
+        header = encode_basic("mdt1", "secret1")
+        before = auth.authenticate(header)
+        assert before.privileges.grants(CLEARANCE, MDT_1)
+        webdb.revoke_label_privilege(webdb.user_id("mdt1"), CLEARANCE, MDT_1.uri)
+        after = auth.authenticate(header)
+        assert not after.privileges.grants(CLEARANCE, MDT_1)
+
+    def test_generation_moves_only_on_mutation(self, webdb):
+        generation = webdb.generation
+        webdb.user_id("mdt1")
+        webdb.check_password("mdt1", "secret1")
+        assert webdb.generation == generation
+        webdb.grant_acl(webdb.user_id("mdt1"), hospital="h", clinic="c")
+        assert webdb.generation == generation + 1

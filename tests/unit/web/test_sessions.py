@@ -6,6 +6,7 @@ from repro.core.audit import AuditLog
 from repro.core.labels import conf_label
 from repro.core.privileges import CLEARANCE
 from repro.storage import WebDatabase
+from repro.storage.docstore import make_database
 from repro.taint import label
 from repro.web import SafeWebApp, SafeWebMiddleware, TestClient
 from repro.web.auth import BasicAuthenticator
@@ -13,6 +14,7 @@ from repro.web.sessions import (
     CSRF_FIELD,
     CSRF_HEADER,
     SESSION_COOKIE,
+    DocStoreSessionStore,
     SessionMiddleware,
     csrf_token_for,
     parse_cookies,
@@ -30,14 +32,21 @@ def webdb():
     database.close()
 
 
-@pytest.fixture()
-def app(webdb):
+@pytest.fixture(params=["webdb", "docstore"])
+def app(webdb, request):
     application = SafeWebApp()
     audit = AuditLog()
     safeweb = SafeWebMiddleware(
         BasicAuthenticator(webdb), audit=audit, public_paths={"/login"}
     )
-    sessions = SessionMiddleware(webdb, safeweb, audit=audit)
+    # Both session backends must behave identically: the seed webdb
+    # table and the sharded docstore the portal uses.
+    store = (
+        DocStoreSessionStore(make_database("test-sessions", shards=4))
+        if request.param == "docstore"
+        else None
+    )
+    sessions = SessionMiddleware(webdb, safeweb, audit=audit, session_store=store)
     sessions.install(application)  # session resolution first
     safeweb.install(application)
 
@@ -135,6 +144,36 @@ class TestLogin:
         assert result.status == 204
         result = client.get("/whoami", headers={"Cookie": f"{SESSION_COOKIE}={token}"})
         assert result.status == 401
+
+
+class TestDocStoreSessionStore:
+    def test_create_resolve_delete(self):
+        store = DocStoreSessionStore(shards=4)
+        token = store.create_session(7)
+        assert store.session_user(token) == 7
+        assert store.session_count() == 1
+        store.delete_session(token)
+        assert store.session_user(token) is None
+        assert store.session_count() == 0
+
+    def test_expiry(self):
+        store = DocStoreSessionStore(shards=1)
+        token = store.create_session(3)
+        assert store.session_user(token, max_age=0.0) is None
+        assert store.session_count() == 0  # expired sessions are reaped
+
+    def test_unknown_token(self):
+        store = DocStoreSessionStore(shards=1)
+        assert store.session_user("nope") is None
+        store.delete_session("nope")  # no-op, no raise
+
+    def test_sessions_spread_over_shards(self):
+        database = make_database("spread-sessions", shards=4)
+        store = DocStoreSessionStore(database)
+        tokens = [store.create_session(i) for i in range(16)]
+        assert store.session_count() == 16
+        populated = sum(1 for shard in database.shards if len(shard) > 0)
+        assert populated > 1  # CRC-32 spreads the tokens
 
 
 class TestCsrf:

@@ -5,7 +5,7 @@ import pytest
 from repro.core.labels import LabelSet, conf_label
 from repro.taint import LabeledStr, label, labels_of, mark_user_input
 from repro.taint.labeled import is_user_tainted
-from repro.web.templates import Template, TemplateError, render
+from repro.web.templates import Template, TemplateError, TemplateRegistry, render
 
 PATIENT = conf_label("ecric.org.uk", "patient", "1")
 MDT = conf_label("ecric.org.uk", "mdt", "1")
@@ -146,3 +146,43 @@ class TestErrors:
         template = Template("<%= n %>")
         assert template.render(n=1) == "1"
         assert template.render(n=2) == "2"
+
+
+class TestRegistry:
+    def test_compiled_once_per_name(self):
+        registry = TemplateRegistry()
+        registry.register("page", "<%= n %>")
+        assert registry.render("page", n=1) == "1"
+        assert registry.get("page") is registry.get("page")
+        assert registry.compilations == 1
+
+    def test_reregistering_same_source_keeps_compilation(self):
+        registry = TemplateRegistry()
+        registry.register("page", "<%= n %>")
+        compiled = registry.get("page")
+        registry.register("page", "<%= n %>")
+        assert registry.get("page") is compiled
+
+    def test_reregistering_new_source_recompiles(self):
+        registry = TemplateRegistry()
+        registry.register("page", "old <%= n %>")
+        assert registry.render("page", n=1) == "old 1"
+        registry.register("page", "new <%= n %>")
+        assert registry.render("page", n=1) == "new 1"
+        assert registry.compilations == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TemplateError, match="unknown template"):
+            TemplateRegistry().get("missing")
+
+    def test_contains(self):
+        registry = TemplateRegistry()
+        registry.register("page", "x")
+        assert "page" in registry
+        assert "other" not in registry
+
+    def test_labels_propagate_through_registry(self):
+        registry = TemplateRegistry()
+        registry.register("page", "<%= value %>")
+        rendered = registry.render("page", value=label("secret", MDT))
+        assert labels_of(rendered) == LabelSet([MDT])
