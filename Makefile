@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench-web bench docs-check
+.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench-web bench-pipeline bench docs-check
 
 ## Show every target with its description.
 help:
@@ -34,6 +34,10 @@ bench-storage:
 ## Web frontend perf snapshot: appends router/page/server results to BENCH_web.json.
 bench-web:
 	$(PYTHON) scripts/bench_web.py
+
+## Engine perf snapshot: appends seed-vs-laned pipeline results to BENCH_pipeline.json.
+bench-pipeline:
+	$(PYTHON) scripts/bench_pipeline.py
 
 ## Fail if docs/*.md reference modules, files or make targets that don't exist.
 docs-check:

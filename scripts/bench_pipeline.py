@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""End-to-end MDT pipeline snapshot: seed engine vs execution lanes → JSON.
+
+Runs the pipeline-focused measurements outside pytest and appends one
+entry to ``BENCH_pipeline.json`` in the repo root (the engine sibling of
+``scripts/bench_broker.py`` etc.):
+
+    python scripts/bench_pipeline.py            # full run
+    python scripts/bench_pipeline.py --quick    # smaller event counts
+
+Two scenarios, both driven through the real engine + broker + labelled
+stores:
+
+* **e2e_mdt** — the full Figure 4 backend pass (import → aggregate →
+  replicate) on :class:`~repro.mdt.deployment.MdtDeployment`, seed
+  synchronous engine vs ``parallel_engine=4``. The three paper units
+  are pure-Python CPU work, so on a single GIL-bound core the lanes
+  mostly measure their own overhead here — recorded to keep the
+  trajectory honest.
+* **multi_unit_io** — the workload lanes exist for: one jailed
+  processor unit per MDT (policy principals from
+  ``WorkloadConfig(per_mdt_units=True)``), each paying a simulated
+  remote-store round trip per event (the deployed paper system writes
+  to CouchDB over HTTP; the in-process docstore has no wire latency, so
+  the stall models it explicitly). The seed engine serialises every
+  stall on the publisher's thread; lanes overlap them across units —
+  the speedup at ≥4 lanes is the headline number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.audit import AuditLog  # noqa: E402
+from repro.events import Broker, EventProcessingEngine, Unit  # noqa: E402
+from repro.events.selector import selector_literal  # noqa: E402
+from repro.mdt.deployment import MdtDeployment  # noqa: E402
+from repro.mdt.labels import mdt_label  # noqa: E402
+from repro.mdt.workload import (  # noqa: E402
+    WorkloadConfig,
+    generate_workload,
+    per_mdt_unit_name,
+)
+
+RESULTS_PATH = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+# -- scenario 1: the full deployment pipeline ---------------------------------
+
+
+def measure_e2e(config: WorkloadConfig, workers: int, passes: int) -> dict:
+    times = []
+    events = 0
+    for _ in range(passes):
+        deployment = MdtDeployment(
+            config, audit=AuditLog(capacity=64), parallel_engine=workers
+        )
+        start = time.perf_counter()
+        deployment.run_pipeline()
+        times.append(time.perf_counter() - start)
+        events = deployment.engine.stats.dispatched
+        deployment.engine.stop()
+    best = min(times)
+    return {
+        "workers": workers,
+        "engine_callbacks": events,
+        "best_seconds": round(best, 4),
+        "callbacks_per_second": round(events / best, 1),
+    }
+
+
+# -- scenario 2: per-MDT units with simulated remote-store latency -------------
+
+
+class MdtProcessor(Unit):
+    """A jailed per-MDT unit: merge the report, pay one store round trip."""
+
+    def __init__(self, mdt_id: str, stall_seconds: float):
+        super().__init__()
+        self.unit_name = per_mdt_unit_name(mdt_id)
+        self.mdt_id = mdt_id
+        self.stall_seconds = stall_seconds
+
+    def setup(self):
+        self.subscribe(
+            "/patient_report",
+            self.on_report,
+            selector=f"mdt_id = {selector_literal(self.mdt_id)}",
+        )
+
+    def on_report(self, event):
+        key = f"record:{event['patient_id']}"
+        record = self.store.get(key, {"tumours": 0})
+        record["tumours"] += 1
+        record["stage"] = event.get("stage", "")
+        self.store.set(key, record)
+        # The deployed system's storage round trip (CouchDB over HTTP).
+        time.sleep(self.stall_seconds)
+
+
+def measure_multi_unit(
+    events_per_run: int, stall_seconds: float, worker_counts, mdts: int = 8
+) -> dict:
+    config = WorkloadConfig(
+        num_regions=2, mdts_per_region=mdts // 2, patients_per_mdt=2, per_mdt_units=True
+    )
+    workload = generate_workload(config)
+    mdt_ids = workload.directory.mdt_ids()
+
+    def build_events():
+        return [
+            {
+                "topic": "/patient_report",
+                "attributes": {
+                    "mdt_id": mdt_ids[index % len(mdt_ids)],
+                    "patient_id": f"p{index}",
+                    "stage": str(index % 4),
+                },
+                "labels": [mdt_label(mdt_ids[index % len(mdt_ids)])],
+            }
+            for index in range(events_per_run)
+        ]
+
+    results = {}
+    seed_rate = None
+    for workers in worker_counts:
+        engine = EventProcessingEngine(
+            broker=Broker(audit=AuditLog(capacity=64)),
+            policy=workload.policy,
+            audit=AuditLog(capacity=64),
+            workers=workers,
+        )
+        for mdt_id in mdt_ids:
+            engine.register(MdtProcessor(mdt_id, stall_seconds))
+        events = build_events()
+        start = time.perf_counter()
+        engine.publish_batch(events)
+        assert engine.drain(120)
+        elapsed = time.perf_counter() - start
+        processed = engine.stats.dispatched
+        rate = processed / elapsed
+        if workers == 0:
+            seed_rate = rate
+        results[f"workers_{workers}"] = {
+            "events": processed,
+            "seconds": round(elapsed, 4),
+            "events_per_second": round(rate, 1),
+            "speedup_vs_seed": round(rate / seed_rate, 2) if seed_rate else None,
+            "lane_stats": engine.stats.snapshot(),
+        }
+        engine.stop()
+    return {
+        "mdt_units": len(mdt_ids),
+        "stall_ms_per_event": stall_seconds * 1000,
+        "runs": results,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller event counts for a smoke run"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="result file to append to"
+    )
+    parser.add_argument("--note", default="", help="free-form tag recorded in the entry")
+    args = parser.parse_args()
+
+    e2e_config = WorkloadConfig(
+        num_regions=2,
+        mdts_per_region=2,
+        patients_per_mdt=10 if args.quick else 40,
+    )
+    e2e_passes = 1 if args.quick else 3
+    io_events = 160 if args.quick else 400
+    stall = 0.001
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "revision": git_revision(),
+        "note": args.note,
+        "e2e_mdt": {
+            "seed": measure_e2e(e2e_config, 0, e2e_passes),
+            "laned_4": measure_e2e(e2e_config, 4, e2e_passes),
+        },
+        "multi_unit_io": measure_multi_unit(
+            io_events, stall, worker_counts=(0, 1, 4, 8)
+        ),
+    }
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

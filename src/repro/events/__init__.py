@@ -8,20 +8,25 @@ units inside an IFC jail.
 
 from repro.events.event import Event
 from repro.events.context import LabelContext, current_labels, extend_labels
-from repro.events.selector import Selector, parse_selector
+from repro.events.selector import Selector, parse_selector, selector_literal
 from repro.events.broker import Broker, Subscription
 from repro.events.store import LabeledStore
 from repro.events.jail import Jail, isolate_callback
 from repro.events.unit import Unit, unit_from_function
 from repro.events.engine import EventProcessingEngine
+from repro.events.lanes import EngineStats, ExecutionLane, LaneScheduler
 
 __all__ = [
+    "EngineStats",
+    "ExecutionLane",
+    "LaneScheduler",
     "Event",
     "LabelContext",
     "current_labels",
     "extend_labels",
     "Selector",
     "parse_selector",
+    "selector_literal",
     "Broker",
     "Subscription",
     "LabeledStore",

@@ -366,7 +366,7 @@ class Broker:
     def _dispatch_loop(self) -> None:
         get = self._queue.get
         get_nowait = self._queue.get_nowait
-        deliver = self._deliver
+        deliver = self._dispatch_one
         item: object = get()
         while True:
             if item is None:
@@ -384,6 +384,30 @@ class Broker:
                 item = get_nowait()
             except queue.Empty:
                 item = get()
+
+    def _dispatch_one(self, event: Event) -> None:
+        """One dispatcher delivery; the thread must survive anything.
+
+        ``raise_errors=True`` makes the delivery loops re-raise subscriber
+        exceptions so *synchronous* publishers see them — but on the
+        dispatcher thread there is no publisher stack, and an uncaught
+        exception used to kill the thread silently, stalling every
+        subsequent event. Errors are already counted and audited by the
+        delivery loop; here they are additionally recorded under
+        ``broker/dispatch`` so a surviving-but-noisy dispatcher is
+        visible in the log.
+        """
+        try:
+            self._deliver(event)
+        except Exception as error:  # noqa: BLE001 - the dispatcher must keep running
+            self._audit.note(
+                "broker",
+                "dispatch",
+                "dispatcher",
+                DENIED,
+                event.labels,
+                f"subscriber error contained on dispatcher thread: {error!r}",
+            )
 
     # -- delivery ------------------------------------------------------------------
 

@@ -12,11 +12,32 @@ The engine is the runtime environment for units. Its key functions:
 3. **restriction of access to the environment** — privileged units
    (importers/exporters) run outside the jail but may have clearance for
    chosen labels withheld so they can never receive those events.
+
+Execution modes
+---------------
+
+``workers=0`` (the default) is the seed behaviour and the executable
+reference: every delivery runs synchronously on the publisher's thread,
+cascades nest, and exceptions propagate to the publisher when
+``raise_callback_errors`` is set.
+
+``workers=N`` turns on the **parallel engine**: each unit gets a serial
+execution lane (per-unit FIFO, a unit's callbacks never race its own
+labelled store) multiplexed over N shared worker threads
+(:mod:`repro.events.lanes`). The broker still matches topics, selectors
+and clearance on the publishing thread — enforcement is unchanged — but
+the matched callback is handed to the unit's lane instead of being
+invoked inline. LabelContext and jail containment are established *per
+task* on whichever worker runs it, so label tracking and isolation are
+identical to the synchronous mode; the property suite
+(tests/property/test_parallel_engine.py) pins the equivalence. See
+docs/ENGINE.md for the ordering guarantees and backpressure knobs.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional
 
@@ -28,6 +49,7 @@ from repro.events.broker import Broker
 from repro.events.context import LabelContext, current_labels
 from repro.events.event import Event
 from repro.events.jail import Jail, isolate_callback, _state as _jail_state
+from repro.events.lanes import BLOCK, EngineStats, LaneScheduler
 from repro.events.store import LabeledStore
 from repro.events.unit import Unit
 from repro.exceptions import (
@@ -52,9 +74,21 @@ class _UnitServices:
         self._unit = unit
         self.principal = principal
         self.store = LabeledStore(principal, audit=engine.audit)
+        #: Set by unregister: a detached unit (or a jail-isolated clone
+        #: of one that kept this handle) can no longer reach the engine.
+        self.closed = False
 
     def __deepcopy__(self, memo) -> "_UnitServices":
         return self
+
+    def close(self) -> None:
+        self.closed = True
+
+    def _guard_open(self) -> None:
+        if self.closed:
+            raise SafeWebError(
+                f"unit {self.principal.name!r} has been unregistered from the engine"
+            )
 
     def register_subscription(
         self,
@@ -63,11 +97,13 @@ class _UnitServices:
         selector: Optional[str],
         require_integrity: Optional[LabelSet] = None,
     ) -> None:
+        self._guard_open()
         self._engine._register_subscription(
             self, topic, handler, selector, require_integrity
         )
 
     def publish(self, topic, attributes, payload, add, remove, remove_all) -> Event:
+        self._guard_open()
         return self._engine._publish_from_unit(
             self.principal, topic, attributes, payload, add, remove, remove_all
         )
@@ -83,6 +119,9 @@ class EventProcessingEngine:
         audit: Optional[AuditLog] = None,
         isolation: bool = True,
         raise_callback_errors: bool = False,
+        workers: int = 0,
+        mailbox_capacity: int = 1024,
+        backpressure: str = BLOCK,
     ):
         self.broker = broker if broker is not None else Broker()
         self.policy = policy
@@ -93,6 +132,22 @@ class EventProcessingEngine:
         self._units: Dict[str, Unit] = {}
         self._services: Dict[str, _UnitServices] = {}
         self._lock = threading.Lock()
+        self.stats = EngineStats()
+        self._scheduler: Optional[LaneScheduler] = None
+        if workers:
+            self._scheduler = LaneScheduler(
+                workers,
+                self._run_task,
+                self.stats,
+                mailbox_capacity=mailbox_capacity,
+                backpressure=backpressure,
+                on_drop=self._audit_drop,
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """True when deliveries run on execution lanes, not the publisher."""
+        return self._scheduler is not None
 
     # -- unit lifecycle ------------------------------------------------------
 
@@ -116,11 +171,41 @@ class EventProcessingEngine:
         return unit
 
     def unregister(self, unit_name: str) -> None:
+        """Detach a unit: subscriptions, services handle and lane all go.
+
+        Subscriptions are removed under the *principal* name they were
+        registered with (which the policy may decouple from the unit
+        name), the unit's ``teardown`` hook runs, and its services
+        handle is closed — so neither the unit nor any jail-isolated
+        clone that retained the handle can publish through the engine
+        again.
+        """
         with self._lock:
-            self._units.pop(unit_name, None)
-            self._services.pop(unit_name, None)
-        for subscription in self.broker.subscriptions_for(unit_name):
+            unit = self._units.pop(unit_name, None)
+            services = self._services.pop(unit_name, None)
+        principal_name = services.principal.name if services is not None else unit_name
+        for subscription in self.broker.subscriptions_for(principal_name):
             self.broker.unsubscribe(subscription.subscription_id)
+        if self._scheduler is not None:
+            # Already-accepted deliveries finish before the unit is torn
+            # down; in-flight submissions racing the unsubscribe above
+            # are dropped with an audit record, never raised.
+            self._scheduler.close_lane(principal_name)
+        if unit is not None:
+            try:
+                unit.teardown()
+            except Exception as error:  # noqa: BLE001 - buggy teardown must not block revocation
+                self.audit.denied(
+                    "engine",
+                    "teardown",
+                    principal_name,
+                    detail=f"teardown error: {error!r}",
+                )
+            finally:
+                unit._services = None
+        if services is not None:
+            services.close()
+            self.audit.allowed("engine", "unregister", principal_name)
 
     @property
     def unit_names(self) -> List[str]:
@@ -131,6 +216,53 @@ class EventProcessingEngine:
         """The unit's store (tests and importers peek through this)."""
         with self._lock:
             return self._services[unit_name].store
+
+    # -- parallel lifecycle ---------------------------------------------------
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until every queued delivery (and its cascade) completed.
+
+        Synchronous engines are always drained. With a threaded broker
+        the loop alternates between the broker queue and the lanes until
+        neither produced new work — a worker callback may publish into
+        the broker, whose dispatcher then refills the lanes.
+        """
+        if self._scheduler is None:
+            if self.broker is not None:
+                self.broker.drain(timeout)
+            return True
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return self._scheduler.idle
+            # Stability check: one full round (broker → lanes → broker
+            # again) during which nothing was accepted or executed. The
+            # trailing broker drain matters: a callback may publish into
+            # a threaded broker just before finishing, and the event sits
+            # in the dispatcher queue while the lanes are momentarily
+            # idle — the second drain forces that handoff to happen (and
+            # show up in the counters) before quiescence is declared.
+            before = (self.stats.queued, self.stats.dispatched)
+            self.broker.drain(remaining)
+            if not self._scheduler.drain(max(deadline - time.monotonic(), 0.001)):
+                return False
+            self.broker.drain(max(deadline - time.monotonic(), 0.001))
+            after = (self.stats.queued, self.stats.dispatched)
+            if after == before and self._scheduler.idle:
+                return True
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Gracefully drain the lanes and shut the worker pool down."""
+        if self._scheduler is not None:
+            self.drain(timeout)
+            self._scheduler.stop(timeout)
+
+    def lane_depths(self) -> Dict[str, int]:
+        """Current mailbox depth per unit lane (empty when synchronous)."""
+        if self._scheduler is None:
+            return {}
+        return self._scheduler.lane_depths()
 
     # -- ingress for non-unit producers ----------------------------------------
 
@@ -189,8 +321,22 @@ class EventProcessingEngine:
         else:
             callback = handler
 
-        def deliver(event: Event) -> None:
-            self._run_callback(principal, callback, event)
+        if self._scheduler is not None:
+            # Parallel mode: the broker's matching and clearance checks
+            # still run on the publishing thread; the matched callback is
+            # handed to the unit's serial lane. The security context
+            # travels inside the task (principal + event), re-established
+            # by _run_task on whichever worker executes it.
+            lane = self._scheduler.lane(principal.name)
+            submit = self._scheduler.submit
+
+            def deliver(event: Event) -> None:
+                submit(lane, (principal, callback, event))
+
+        else:
+
+            def deliver(event: Event) -> None:
+                self._run_callback(principal, callback, event)
 
         self.broker.subscribe(
             topic,
@@ -201,7 +347,35 @@ class EventProcessingEngine:
             require_integrity=require_integrity,
         )
 
+    def _run_task(self, task) -> None:
+        """Execute one lane task on a worker thread.
+
+        The LabelContext and jail containment are established inside
+        :meth:`_run_callback`, per task — workers carry no ambient
+        security state between tasks. Exceptions are audited by
+        :meth:`_run_callback` and swallowed here: in parallel mode there
+        is no publisher stack to propagate them to, and a raising unit
+        must never take a shared worker down (``raise_callback_errors``
+        only changes synchronous-mode behaviour).
+        """
+        principal, callback, event = task
+        try:
+            self._run_callback(principal, callback, event)
+        except Exception:  # noqa: BLE001 - audited + counted in _run_callback
+            pass
+
+    def _audit_drop(self, lane_name: str, task, reason: str) -> None:
+        _principal, _callback, event = task
+        self.audit.denied(
+            "engine",
+            "enqueue",
+            lane_name,
+            labels=event.labels,
+            detail=f"event dropped: {reason}",
+        )
+
     def _run_callback(self, principal: UnitPrincipal, callback, event: Event) -> None:
+        self.stats.bump("dispatched")
         try:
             with LabelContext(event.labels):
                 if self.isolation and not principal.privileged:
@@ -216,6 +390,7 @@ class EventProcessingEngine:
                 else:
                     callback(event)
         except SecurityViolation as violation:
+            self.stats.bump("callback_errors")
             self.audit.denied(
                 "engine",
                 "callback",
@@ -226,6 +401,7 @@ class EventProcessingEngine:
             if self.raise_callback_errors:
                 raise
         except Exception as error:  # noqa: BLE001 - unit bugs must not kill the engine
+            self.stats.bump("callback_errors")
             self.audit.denied(
                 "engine",
                 "callback",

@@ -26,6 +26,13 @@ from mutating attributes of objects *reachable* through shared modules
 the way Ruby's taint-write rule does. Under the paper's threat model —
 buggy, not malicious, code — the paths that matter (I/O, globals,
 closures, shared unit state) are all closed.
+
+Containment is a per-thread counter, which is what lets the parallel
+engine carry the jail **per task**: a worker enters
+:meth:`Jail.contained` around each non-privileged principal's callback
+and leaves it afterwards, so the same pool thread can run a jailed
+task, then a privileged one, with no state carried over (see
+docs/ENGINE.md).
 """
 
 from __future__ import annotations

@@ -735,3 +735,14 @@ def parse_selector(text: Optional[str]) -> Optional[Selector]:
     if text is None or not text.strip():
         return None
     return _cached_selector(text)
+
+
+def selector_literal(value: str) -> str:
+    """Quote *value* as a SQL-92 selector string literal.
+
+    Selector strings escape an embedded single quote by doubling it.
+    Any code interpolating runtime data into a selector expression must
+    go through this — raw f-string interpolation of a value containing
+    ``'`` produces an unparseable (or differently-scoped) filter.
+    """
+    return "'" + value.replace("'", "''") + "'"

@@ -114,10 +114,22 @@ class LabeledStore:
         remove: Iterable[Label | str],
         operation: str,
     ) -> LabelSet:
+        """Apply ±add/remove to *base* with the engine's publish semantics.
+
+        Declassification privilege is demanded only for the *effective*
+        removals — labels actually present on the base set — and removal
+        is applied before addition (difference-then-union), so a label
+        listed in both ``add`` and ``remove`` survives, exactly as it
+        does on the engine's publish path (§4.3). The seed demanded
+        privilege for the full remove set (denying writes over labels
+        the key never carried) and computed union-then-difference
+        (stripping add∩remove), so the two enforcement points disagreed.
+        """
         add_set = LabelSet(add)
         remove_set = LabelSet(remove)
         privileges = self._principal.privileges
-        missing = privileges.missing_declassification(remove_set)
+        effective_removals = base.intersection(remove_set)
+        missing = privileges.missing_declassification(effective_removals)
         if missing:
             self._audit.denied(
                 "store",
@@ -142,4 +154,4 @@ class LabeledStore:
                 f"unit {self._principal.name!r} lacks endorsement for "
                 f"{sorted(label.uri for label in add_set.integrity)}"
             )
-        return base.union(add_set).difference(remove_set)
+        return base.difference(remove_set).union(add_set)

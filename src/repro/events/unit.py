@@ -60,6 +60,16 @@ class Unit:
     def setup(self) -> None:
         """Override to register subscriptions; default registers nothing."""
 
+    def teardown(self) -> None:
+        """Called by the engine during unregister, before detachment.
+
+        Runs after the unit's subscriptions are removed but while the
+        services handle is still open, so the hook can flush state; once
+        it returns the engine detaches ``_services`` and closes the
+        handle — the unit (and any isolated clone of it) can no longer
+        publish or subscribe.
+        """
+
     # -- the unit-facing API ----------------------------------------------------
 
     def subscribe(

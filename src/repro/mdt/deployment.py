@@ -22,7 +22,7 @@ from typing import FrozenSet, Optional, Set, Tuple
 from repro.core.audit import AuditLog
 from repro.events.broker import Broker
 from repro.events.engine import EventProcessingEngine
-from repro.exceptions import FirewallError
+from repro.exceptions import FirewallError, SafeWebError
 from repro.mdt.aggregator import BuggyDataAggregator, DataAggregator
 from repro.mdt.portal import build_portal
 from repro.mdt.producer import DataProducer
@@ -106,6 +106,9 @@ class MdtDeployment:
         cached_auth: bool = False,
         page_cache: bool = False,
         sessions: bool = True,
+        parallel_engine: int = 0,
+        mailbox_capacity: int = 1024,
+        backpressure: str = "block",
     ):
         self.audit = audit if audit is not None else AuditLog()
         self.firewall = Firewall()
@@ -116,12 +119,22 @@ class MdtDeployment:
         self.main_db = self.workload.main_db
         self.broker = Broker(audit=self.audit, label_checks=label_checks_in_broker,
                              raise_errors=True)
+        # ``parallel_engine=N`` runs units on N-worker execution lanes
+        # (repro.events.lanes). Default **off**: the §5.3 benchmarks
+        # (E1/E3) pin the paper's synchronous cost shape, and callback
+        # exceptions propagating to the publisher (raise_callback_errors)
+        # only exist in synchronous mode. Pipeline drivers drain the
+        # lanes between stages, so the stage ordering contract holds in
+        # both modes.
         self.engine = EventProcessingEngine(
             broker=self.broker,
             policy=self.workload.policy,
             audit=self.audit,
             isolation=isolation,
-            raise_callback_errors=True,
+            raise_callback_errors=not parallel_engine,
+            workers=parallel_engine,
+            mailbox_capacity=mailbox_capacity,
+            backpressure=backpressure,
         )
         # ``shards > 1`` hash-partitions both application databases; the
         # API (and every enforcement decision) is identical either way.
@@ -174,6 +187,7 @@ class MdtDeployment:
     def import_data(self) -> None:
         """Trigger the producer (Intranet-internal control event)."""
         self.engine.publish("/control/import", publisher="scheduler")
+        self._settle()
 
     def aggregate(self) -> None:
         """Trigger per-MDT and per-region metric computation."""
@@ -187,6 +201,22 @@ class MdtDeployment:
                 "/control/aggregate_region",
                 {"region": region, "mdt_ids": mdt_ids},
                 publisher="scheduler",
+            )
+        self._settle()
+
+    def _settle(self, timeout: float = 60.0) -> None:
+        """Pipeline-stage barrier: wait for lanes to empty (parallel mode).
+
+        Synchronous engines finish each cascade inside ``publish``, so
+        this is a no-op there; laned engines must drain before the next
+        stage's control events are published (the aggregator must have
+        merged every case report before metrics are computed over them).
+        A drain timeout fails loudly — running the next stage over a
+        partially-processed backlog would silently corrupt the metrics.
+        """
+        if self.engine.parallel and not self.engine.drain(timeout):
+            raise SafeWebError(
+                f"pipeline stage barrier: engine lanes did not drain within {timeout}s"
             )
 
     def replicate(self) -> None:

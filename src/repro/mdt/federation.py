@@ -33,6 +33,7 @@ from repro.core.labels import LabelSet
 from repro.core.policy import Policy, PolicyDocument, UnitSpec
 from repro.events.broker import Broker
 from repro.events.event import Event
+from repro.events.selector import selector_literal
 from repro.events.stomp.bridge import StompBrokerBridge
 from repro.events.stomp.server import StompServer
 from repro.mdt.deployment import MdtDeployment
@@ -101,7 +102,7 @@ class RegionalGateway:
             EXCHANGE_TOPIC,
             self._on_foreign_metric,
             principal=f"gateway_{self.region}",
-            selector=f"region <> '{self.region}'",
+            selector=f"region <> {selector_literal(self.region)}",
         )
         return self
 
@@ -139,6 +140,7 @@ class RegionalGateway:
         from repro.taint.labeled import with_labels
 
         document = {
+            "_id": f"metric-region-{region}",
             "type": "region_metric",
             "metric_region": region,
             "mdt_count": event.get("mdt_count", "0"),
@@ -146,13 +148,14 @@ class RegionalGateway:
             "survival": with_labels(event.get("survival", ""), labels),
             "federated_from": region,
         }
-        # Imported documents enter through the replication ingress: the
-        # DMZ replica stays read-only to everything else.
-        from repro.taint import json_codec
-
-        plain, sidecar = json_codec.encode_document(document)
-        doc_id = f"metric-region-{region}"
-        self.deployment.app_db.replication_put(doc_id, f"1-federated-{event.event_id}", plain, sidecar)
+        # Upsert adopts the current stored revision under the store lock,
+        # so repeated export rounds for the same region land as proper
+        # MVCC successors (1-… → 2-… → …). The seed wrote every round at
+        # a fixed generation ``1-federated-<event_id>``, which kept the
+        # revision history flat and collided with any consumer tracking
+        # revs by generation. The DMZ replica still receives the import
+        # only through replication and stays read-only to everything else.
+        self.deployment.app_db.upsert(document)
         self.deployment.replicate()
         self.imported.append(region)
 

@@ -213,6 +213,67 @@ class TestThreadedDispatch:
         broker.stop()
         broker.stop()
 
+    def test_dispatcher_survives_raising_subscriber(self):
+        """Regression: with raise_errors=True a subscriber exception used
+        to propagate out of the dispatch loop and kill the dispatcher
+        thread silently — every later event then queued forever."""
+        broker = Broker(threaded=True, raise_errors=True)
+        try:
+            received = []
+
+            def flaky(event):
+                if event.get("i") == "boom":
+                    raise ValueError("subscriber bug")
+                received.append(event)
+
+            broker.subscribe("/t", flaky)
+            broker.publish(Event("/t", {"i": "boom"}))
+            for index in range(5):
+                broker.publish(Event("/t", {"i": str(index)}))
+            broker.drain()
+            assert broker._dispatcher is not None and broker._dispatcher.is_alive()
+            assert [event["i"] for event in received] == ["0", "1", "2", "3", "4"]
+            assert broker.stats.errors == 1
+        finally:
+            broker.stop()
+
+    def test_dispatcher_survives_raising_engine_callback(self):
+        """The engine's deliver closure re-raises unit exceptions when
+        raise_callback_errors=True; on a threaded broker those land on
+        the dispatcher thread and must be contained there."""
+        from repro.core.principals import UnitPrincipal
+        from repro.core.privileges import PrivilegeSet
+        from repro.events import EventProcessingEngine, Unit
+
+        broker = Broker(threaded=True, raise_errors=True)
+        engine = EventProcessingEngine(
+            broker=broker, raise_callback_errors=True, isolation=False
+        )
+        try:
+
+            class Fragile(Unit):
+                unit_name = "fragile"
+
+                def setup(self):
+                    self.subscribe("/t", self.on_event)
+
+                def on_event(self, event):
+                    if event.get("i") == "boom":
+                        raise ValueError("unit bug")
+                    self.store.set("ok", self.store.get("ok", 0) + 1)
+
+            engine.register(
+                Fragile(), principal=UnitPrincipal("fragile", PrivilegeSet.empty())
+            )
+            engine.publish("/t", {"i": "boom"})
+            for _ in range(3):
+                engine.publish("/t", {"i": "fine"})
+            broker.drain()
+            assert broker._dispatcher is not None and broker._dispatcher.is_alive()
+            assert engine.store_of("fragile").get("ok") == 3
+        finally:
+            broker.stop()
+
 
 class TestSubscriptionWants:
     """`wants` is the topic+selector half of the match (no security)."""

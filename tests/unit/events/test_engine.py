@@ -115,6 +115,68 @@ class TestRegistration:
         with pytest.raises(SafeWebError):
             unit.store.get("x")
 
+    def test_unregister_uses_principal_name_not_unit_name(self):
+        """Regression: subscriptions are registered under the *principal*
+        name; the seed removed them by unit name, leaking every live
+        subscription of a unit whose policy principal differs."""
+        from repro.core.principals import UnitPrincipal
+        from repro.core.privileges import CLEARANCE, PrivilegeSet
+
+        engine = make_engine()
+
+        class Renamed(Unit):
+            unit_name = "renamed_unit"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                self.store.set("deliveries", self.store.get("deliveries", 0) + 1)
+
+        principal = UnitPrincipal(
+            "principal_alias",  # differs from unit.name on purpose
+            privileges=PrivilegeSet({CLEARANCE: [PATIENT_ROOT]}),
+        )
+        engine.register(Renamed(), principal=principal)
+        store = engine.store_of("renamed_unit")
+        engine.publish("/in", labels=[PATIENT_1])
+        assert store.get("deliveries") == 1
+        engine.unregister("renamed_unit")
+        assert len(engine.broker) == 0  # seed left the subscription live
+        engine.publish("/in", labels=[PATIENT_1])
+        assert store.get("deliveries") == 1
+
+    def test_unregister_runs_teardown_and_detaches_services(self):
+        engine = make_engine()
+        torn_down = []
+
+        class Ephemeral(Collector):
+            def teardown(self):
+                torn_down.append(self.name)
+
+        unit = Ephemeral()
+        engine.register(unit)
+        engine.unregister("collector")
+        assert torn_down == ["collector"]
+        # Detached: the unit can no longer reach the engine at all.
+        with pytest.raises(SafeWebError):
+            unit.publish("/daily_report")
+        with pytest.raises(SafeWebError):
+            unit.store.get("patient_list")
+
+    def test_unregister_closes_retained_service_handles(self):
+        """Even a handle captured before unregister (e.g. by a jail-
+        isolated clone, whose __deepcopy__ shares it) is dead after."""
+        engine = make_engine()
+        unit = Collector()
+        engine.register(unit)
+        services = unit._services
+        engine.unregister("collector")
+        with pytest.raises(SafeWebError):
+            services.publish("/t", None, None, (), (), False)
+        with pytest.raises(SafeWebError):
+            services.register_subscription("/t", lambda e: None, None)
+
 
 class TestListing1Pipeline:
     """End-to-end reproduction of the paper's Listing 1 behaviour."""

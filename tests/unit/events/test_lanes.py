@@ -1,0 +1,517 @@
+"""Unit tests for the parallel engine's execution lanes.
+
+Covers the lane scheduler contract (per-unit FIFO, single-owner lanes,
+batched dispatch, bounded mailboxes with block/drop backpressure,
+drain/stop) and the security-context hand-off: LabelContext and jail
+containment are established per task on worker threads exactly as the
+synchronous engine establishes them on the publisher's thread.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.audit import AuditLog
+from repro.core.labels import LabelSet, conf_label
+from repro.core.policy import parse_policy
+from repro.events import Broker, EventProcessingEngine, Unit, unit_from_function
+from repro.events.lanes import EngineStats, LaneScheduler
+from repro.exceptions import SafeWebError
+
+PATIENT_ROOT = conf_label("ecric.org.uk", "patient")
+PATIENT_1 = PATIENT_ROOT.child("1")
+
+POLICY = parse_policy(
+    """
+    authority ecric.org.uk
+
+    unit worker_a {
+        clearance label:conf:ecric.org.uk/patient
+    }
+
+    unit worker_b {
+        clearance label:conf:ecric.org.uk/patient
+    }
+
+    unit exporter {
+        privileged
+    }
+    """
+)
+
+
+def make_engine(**kwargs) -> EventProcessingEngine:
+    defaults = dict(
+        broker=Broker(),
+        policy=POLICY,
+        audit=AuditLog(),
+        workers=4,
+    )
+    defaults.update(kwargs)
+    return EventProcessingEngine(**defaults)
+
+
+class TestLaneScheduler:
+    """The scheduler in isolation, without an engine around it."""
+
+    def test_per_lane_fifo_order(self):
+        stats = EngineStats()
+        seen = []
+        scheduler = LaneScheduler(4, lambda task: seen.append(task[2]), stats)
+        lane = scheduler.lane("solo")
+        for index in range(200):
+            scheduler.submit(lane, (None, None, index))
+        assert scheduler.drain(10)
+        assert seen == list(range(200))
+        scheduler.stop()
+
+    def test_single_owner_lane_never_races(self):
+        # A non-atomic read-modify-write on shared state is only safe if
+        # one worker at a time owns the lane; 4 workers + 500 tasks would
+        # lose updates otherwise.
+        stats = EngineStats()
+        state = {"count": 0}
+
+        def bump(task):
+            current = state["count"]
+            time.sleep(0)  # encourage a context switch mid-RMW
+            state["count"] = current + 1
+
+        scheduler = LaneScheduler(4, bump, stats)
+        lane = scheduler.lane("serial")
+        for _ in range(500):
+            scheduler.submit(lane, (None, None, None))
+        assert scheduler.drain(10)
+        assert state["count"] == 500
+        assert stats.dispatched == 0  # dispatched counts engine callbacks only
+        assert stats.queued == 500
+        scheduler.stop()
+
+    def test_lanes_overlap_across_units(self):
+        # Two lanes, two workers: a slow task on lane A must not delay
+        # lane B's task behind it in wall-clock submission order.
+        stats = EngineStats()
+        b_done = threading.Event()
+        release_a = threading.Event()
+
+        def run(task):
+            name = task[2]
+            if name == "slow-a":
+                release_a.wait(5)
+            else:
+                b_done.set()
+
+        scheduler = LaneScheduler(2, run, stats)
+        scheduler.submit(scheduler.lane("a"), (None, None, "slow-a"))
+        scheduler.submit(scheduler.lane("b"), (None, None, "fast-b"))
+        assert b_done.wait(5), "lane b was stuck behind lane a's slow task"
+        release_a.set()
+        assert scheduler.drain(10)
+        scheduler.stop()
+
+    def test_drop_backpressure_drops_newest_and_counts(self):
+        stats = EngineStats()
+        dropped = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def run(task):
+            started.set()
+            release.wait(5)
+
+        scheduler = LaneScheduler(
+            1,
+            run,
+            stats,
+            mailbox_capacity=2,
+            backpressure="drop",
+            on_drop=lambda lane, task, reason: dropped.append(task[2]),
+        )
+        lane = scheduler.lane("full")
+        scheduler.submit(lane, (None, None, "running"))
+        assert started.wait(5)
+        assert scheduler.submit(lane, (None, None, "q1"))
+        assert scheduler.submit(lane, (None, None, "q2"))
+        assert not scheduler.submit(lane, (None, None, "overflow"))
+        assert dropped == ["overflow"]
+        assert stats.dropped == 1
+        release.set()
+        assert scheduler.drain(10)
+        assert stats.queued == 3
+        scheduler.stop()
+
+    def test_block_backpressure_delivers_everything(self):
+        stats = EngineStats()
+        seen = []
+        scheduler = LaneScheduler(
+            2, lambda task: seen.append(task[2]), stats, mailbox_capacity=2
+        )
+        lane = scheduler.lane("tight")
+        for index in range(100):
+            scheduler.submit(lane, (None, None, index))  # blocks when full
+        assert scheduler.drain(10)
+        assert seen == list(range(100))
+        assert stats.dropped == 0
+        scheduler.stop()
+
+    def test_submit_after_stop_raises(self):
+        scheduler = LaneScheduler(1, lambda task: None, EngineStats())
+        lane = scheduler.lane("l")
+        scheduler.stop()
+        with pytest.raises(SafeWebError):
+            scheduler.submit(lane, (None, None, None))
+
+    def test_worker_survives_raising_run_task(self):
+        stats = EngineStats()
+        seen = []
+
+        def run(task):
+            if task[2] == "boom":
+                raise ValueError("unit bug")
+            seen.append(task[2])
+
+        scheduler = LaneScheduler(1, run, stats)
+        lane = scheduler.lane("l")
+        scheduler.submit(lane, (None, None, "boom"))
+        scheduler.submit(lane, (None, None, "after"))
+        assert scheduler.drain(10)
+        assert seen == ["after"]
+        assert stats.callback_errors == 1
+        scheduler.stop()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(SafeWebError):
+            LaneScheduler(0, lambda task: None, EngineStats())
+        with pytest.raises(SafeWebError):
+            LaneScheduler(1, lambda task: None, EngineStats(), mailbox_capacity=0)
+        with pytest.raises(SafeWebError):
+            LaneScheduler(1, lambda task: None, EngineStats(), backpressure="spill")
+
+
+class TestParallelEngine:
+    """The engine running units on lanes."""
+
+    def test_per_unit_fifo_and_store_serialisation(self):
+        engine = make_engine()
+
+        class Sequencer(Unit):
+            unit_name = "worker_a"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                log = self.store.get("order", [])
+                log.append(int(event["i"]))
+                self.store.set("order", log)
+
+        engine.register(Sequencer())
+        for index in range(300):
+            engine.publish("/in", {"i": str(index)})
+        assert engine.drain(10)
+        assert engine.store_of("worker_a").get("order") == list(range(300))
+        engine.stop()
+
+    def test_ambient_labels_carried_per_task(self):
+        engine = make_engine()
+
+        class Stamper(Unit):
+            unit_name = "worker_a"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                # write-only: the key's labels are exactly the ambient
+                # set the worker established for THIS task.
+                self.store.set(f"k:{event['i']}", event["i"])
+
+        engine.register(Stamper())
+        engine.publish("/in", {"i": "labelled"}, labels=[PATIENT_1])
+        engine.publish("/in", {"i": "plain"})
+        assert engine.drain(10)
+        store = engine.store_of("worker_a")
+        assert store.labels_for("k:labelled") == LabelSet([PATIENT_1])
+        assert store.labels_for("k:plain") == LabelSet()
+        engine.stop()
+
+    def test_jail_containment_established_on_workers(self, tmp_path):
+        engine = make_engine()
+        target = tmp_path / "leak.txt"
+
+        @unit_from_function("/in", name="worker_a")
+        def exfiltrate(unit, event):
+            with open(target, "w") as handle:
+                handle.write("secret")
+
+        engine.register(exfiltrate)
+        engine.publish("/in", labels=[PATIENT_1])
+        assert engine.drain(10)
+        assert not target.exists()
+        assert engine.audit.count(
+            component="engine", operation="callback", decision="denied"
+        ) == 1
+        assert engine.stats.callback_errors == 1
+        engine.stop()
+
+    def test_privileged_unit_keeps_io_on_workers(self, tmp_path):
+        engine = make_engine()
+        target = tmp_path / "export.txt"
+
+        @unit_from_function("/in", name="exporter")
+        def exporter(unit, event):
+            target.write_text("exported")
+
+        engine.register(exporter)
+        engine.publish("/in")
+        assert engine.drain(10)
+        assert target.read_text() == "exported"
+        engine.stop()
+
+    def test_lanes_survive_raising_callbacks(self):
+        """The parallel analogue of dispatcher survivability: a unit
+        exception (even with raise_callback_errors=True) must not take
+        a shared worker down or stall the lane behind it."""
+        engine = make_engine(raise_callback_errors=True, workers=2)
+
+        class Flaky(Unit):
+            unit_name = "worker_a"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                if event["i"] == "boom":
+                    raise ValueError("unit bug")
+                self.store.set("ok", self.store.get("ok", 0) + 1)
+
+        engine.register(Flaky())
+        engine.publish("/in", {"i": "boom"})
+        for _ in range(10):
+            engine.publish("/in", {"i": "fine"})
+        assert engine.drain(10)
+        assert engine.store_of("worker_a").get("ok") == 10
+        assert engine.stats.callback_errors == 1
+        assert engine.audit.count(
+            component="engine", operation="callback", decision="denied"
+        ) == 1
+        engine.stop()
+
+    def test_cascades_complete_before_drain_returns(self):
+        engine = make_engine()
+
+        class Head(Unit):
+            unit_name = "worker_a"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                self.publish("/mid", {"hop": "1"})
+
+        class Tail(Unit):
+            unit_name = "worker_b"
+
+            def setup(self):
+                self.subscribe("/mid", self.on_event)
+
+            def on_event(self, event):
+                self.store.set("hops", self.store.get("hops", 0) + 1)
+
+        engine.register(Head())
+        engine.register(Tail())
+        for _ in range(50):
+            engine.publish("/in")
+        assert engine.drain(10)
+        assert engine.store_of("worker_b").get("hops") == 50
+        engine.stop()
+
+    def test_unregister_closes_lane_and_stops_delivery(self):
+        engine = make_engine()
+
+        class Countdown(Unit):
+            unit_name = "worker_a"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                self.store.set("n", self.store.get("n", 0) + 1)
+
+        engine.register(Countdown())
+        engine.publish("/in")
+        assert engine.drain(10)
+        store = engine.store_of("worker_a")
+        engine.unregister("worker_a")
+        engine.publish("/in")
+        assert engine.drain(10)
+        assert store.get("n") == 1
+        engine.stop()
+
+    def test_unregister_waits_for_queued_deliveries(self):
+        """Already-accepted tasks run to completion before the unit is
+        torn down — none fail against a closed services handle, and no
+        spurious security denials appear in the audit log."""
+        engine = make_engine(workers=1)
+        gate = threading.Event()
+
+        class Slowpoke(Unit):
+            unit_name = "exporter"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                gate.wait(5)
+                self.store.set("done", self.store.get("done", 0) + 1)
+
+        engine.register(Slowpoke())
+        store = engine.store_of("exporter")
+        for _ in range(5):
+            engine.publish("/in")
+        gate.set()
+        engine.unregister("exporter")  # blocks until the lane empties
+        assert store.get("done") == 5
+        assert engine.stats.callback_errors == 0
+        assert engine.audit.count(component="engine", decision="denied") == 0
+        engine.stop()
+
+    def test_blocked_producer_drops_not_raises_when_lane_closes(self):
+        """A publisher blocked on a full mailbox must not blow up when
+        the unit unregisters underneath it: the event is dropped with an
+        audit record, same as the non-blocking closed-lane path."""
+        stats = EngineStats()
+        dropped = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def run(task):
+            started.set()
+            release.wait(5)
+
+        scheduler = LaneScheduler(
+            1,
+            run,
+            stats,
+            mailbox_capacity=1,
+            on_drop=lambda lane, task, reason: dropped.append((task[2], reason)),
+        )
+        lane = scheduler.lane("closing")
+        scheduler.submit(lane, (None, None, "running"))
+        assert started.wait(5)
+        scheduler.submit(lane, (None, None, "queued"))  # fills the mailbox
+        outcome = {}
+
+        def blocked_producer():
+            outcome["accepted"] = scheduler.submit(lane, (None, None, "late"))
+
+        producer = threading.Thread(target=blocked_producer)
+        producer.start()
+        time.sleep(0.05)  # let it block on the full mailbox
+        closer = threading.Thread(target=scheduler.close_lane, args=("closing",))
+        closer.start()
+        time.sleep(0.05)
+        release.set()
+        producer.join(5)
+        closer.join(5)
+        assert outcome["accepted"] is False  # dropped, not raised
+        assert ("late", "unit unregistered") in dropped
+        assert stats.dropped == 1
+        assert scheduler.drain(10)
+        scheduler.stop()
+
+    def test_self_unregister_from_callback_does_not_stall(self):
+        engine = make_engine(workers=2)
+
+        class SelfRemover(Unit):
+            unit_name = "exporter"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                self.store.set("ran", True)
+                event_engine.unregister("exporter")
+
+        event_engine = engine
+        engine.register(SelfRemover())
+        store = engine.store_of("exporter")
+        start = time.monotonic()
+        engine.publish("/in")
+        assert engine.drain(10)
+        elapsed = time.monotonic() - start
+        assert store.get("ran") is True
+        assert elapsed < 5, f"self-unregister stalled a worker for {elapsed:.1f}s"
+        engine.stop()
+
+    def test_raising_teardown_still_revokes_services(self):
+        engine = make_engine(workers=0)
+
+        class BadTeardown(Unit):
+            unit_name = "exporter"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                pass
+
+        unit = BadTeardown()
+        unit.teardown = lambda: (_ for _ in ()).throw(ValueError("teardown bug"))
+        engine.register(unit)
+        services = unit._services
+        engine.unregister("exporter")  # must not raise
+        with pytest.raises(SafeWebError):
+            services.publish("/t", None, None, (), (), False)
+        assert engine.audit.count(
+            component="engine", operation="teardown", decision="denied"
+        ) == 1
+        assert engine.audit.count(
+            component="engine", operation="unregister", decision="allowed"
+        ) == 1
+
+    def test_drop_policy_audits_dropped_events(self):
+        engine = make_engine(
+            workers=1, mailbox_capacity=1, backpressure="drop"
+        )
+        release = threading.Event()
+        started = threading.Event()
+
+        @unit_from_function("/in", name="exporter")
+        def slow(unit, event):
+            started.set()
+            release.wait(5)
+
+        engine.register(slow)
+        engine.publish("/in")  # runs, blocks the only worker
+        assert started.wait(5)
+        engine.publish("/in")  # fills the mailbox
+        engine.publish("/in")  # dropped
+        assert engine.stats.dropped == 1
+        assert engine.audit.count(
+            component="engine", operation="enqueue", decision="denied"
+        ) == 1
+        release.set()
+        assert engine.drain(10)
+        engine.stop()
+
+    def test_stats_snapshot_shape(self):
+        engine = make_engine()
+        snapshot = engine.stats.snapshot()
+        assert set(snapshot) == {
+            "dispatched",
+            "queued",
+            "dropped",
+            "callback_errors",
+            "max_lane_depth",
+            "batches",
+        }
+        engine.stop()
+
+    def test_synchronous_engine_reports_no_lanes(self):
+        engine = make_engine(workers=0)
+        assert not engine.parallel
+        assert engine.lane_depths() == {}
+        assert engine.drain(1)  # no-op, immediately true
+        engine.stop()  # no-op

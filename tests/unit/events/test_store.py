@@ -129,6 +129,78 @@ class TestLabelManipulation:
         assert make_store().labels_for("nope") == LabelSet()
 
 
+class TestEngineAlignedSemantics:
+    """`store.set` applies ±add/remove exactly like the engine's publish.
+
+    Regression tests for the seed's two divergences: privilege was
+    demanded for the *full* remove set (even labels the key never
+    carried), and labels were combined union-then-difference (so a label
+    in both add and remove survived a publish but was stripped by set).
+    """
+
+    def test_removing_absent_label_needs_no_privilege(self):
+        store = make_store()  # no declassification at all
+        with LabelContext(LabelSet([MDT])):
+            stored = store.set("k", "v", remove=[PATIENT])  # PATIENT not ambient
+        assert stored == LabelSet([MDT])
+
+    def test_privilege_checked_only_for_effective_removals(self):
+        # Declassification for PATIENT covers the effective removal set
+        # {PATIENT} even though the requested set also names MDT (absent).
+        store = make_store(**{DECLASSIFICATION: [PATIENT]})
+        with LabelContext(LabelSet([PATIENT])):
+            stored = store.set("k", "v", remove=[PATIENT, MDT])
+        assert stored == LabelSet()
+
+    def test_label_in_add_and_remove_survives(self):
+        # The engine computes ambient.difference(remove).union(add): a
+        # label listed in both sets is re-applied after removal. The
+        # seed's union-then-difference stripped it.
+        store = make_store(**{DECLASSIFICATION: [PATIENT]})
+        with LabelContext(LabelSet([PATIENT])):
+            stored = store.set("k", "v", add=[PATIENT], remove=[PATIENT])
+        assert stored == LabelSet([PATIENT])
+
+    def test_set_matches_engine_publish_result(self):
+        """Same ambient, same ±sets → same labels as a unit publish."""
+        from repro.core.policy import parse_policy
+        from repro.events import Broker, EventProcessingEngine, Unit
+
+        policy = parse_policy(
+            """
+            authority ecric.org.uk
+
+            unit aligned {
+                clearance label:conf:ecric.org.uk/patient
+                clearance label:conf:ecric.org.uk/mdt
+                declassification label:conf:ecric.org.uk/patient
+            }
+            """
+        )
+        engine = EventProcessingEngine(
+            broker=Broker(raise_errors=True), policy=policy, raise_callback_errors=True
+        )
+
+        class Aligned(Unit):
+            unit_name = "aligned"
+
+            def setup(self):
+                self.subscribe("/in", self.on_event)
+
+            def on_event(self, event):
+                self.store.set("k", "v", add=[PATIENT], remove=[PATIENT, MDT])
+                self.publish("/out", add=[PATIENT], remove=[PATIENT, MDT])
+
+        engine.register(Aligned())
+        published = []
+        engine.broker.subscribe(
+            "/out", published.append, clearance=policy.unit("aligned").privileges
+        )
+        engine.publish("/in", labels=[PATIENT])
+        stored = engine.store_of("aligned").labels_for("k")
+        assert stored == published[0].labels == LabelSet([PATIENT])
+
+
 class TestIntegrityFragilityOnRead:
     def test_reading_unendorsed_state_drops_ambient_integrity(self):
         store = make_store()
