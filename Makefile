@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench-web bench-pipeline bench docs-check
+.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench docs-check
 
 ## Show every target with its description.
 help:
@@ -30,6 +30,10 @@ bench-taint:
 ## Storage perf snapshot: appends put/view/replicate results to BENCH_storage.json.
 bench-storage:
 	$(PYTHON) scripts/bench_storage.py
+
+## Durability perf snapshot: appends durable-vs-memory put + recovery results to BENCH_storage.json.
+bench-durability:
+	$(PYTHON) scripts/bench_durability.py
 
 ## Web frontend perf snapshot: appends router/page/server results to BENCH_web.json.
 bench-web:

@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Durability perf snapshot: durable vs in-memory throughput → JSON.
+
+The durability sibling of ``scripts/bench_storage.py``: runs the
+write-path and recovery measurements outside pytest and appends one
+entry (with a ``durability`` section) to ``BENCH_storage.json``:
+
+    python scripts/bench_durability.py            # full run
+    python scripts/bench_durability.py --quick    # smaller counts
+
+Measurements (see docs/DURABILITY.md):
+
+* **put** — docs/second through the in-memory store and through the
+  durable store at fsync batch sizes 1, 8 and 64: the price of the
+  group-commit knob, from sync-every-write to page-cache-riding;
+* **replicate** — batched replication into a durable read-only
+  replica (every batch boundary is a group commit) vs in-memory;
+* **recovery** — milliseconds to reopen a data directory at several
+  WAL lengths, pure WAL replay vs snapshot + empty WAL: compaction is
+  what bounds recovery time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.labels import LabelSet  # noqa: E402
+from repro.mdt.labels import mdt_label  # noqa: E402
+from repro.storage.docstore import make_database  # noqa: E402
+from repro.storage.recovery import (  # noqa: E402
+    close_durable,
+    flush_durable,
+    open_durable_database,
+    snapshot_durable,
+)
+from repro.storage.replication import Replicator  # noqa: E402
+from repro.taint import with_labels  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "BENCH_storage.json"
+
+LABELS = [LabelSet([mdt_label(str(i))]) for i in range(4)]
+
+
+def _document(index: int) -> dict:
+    doc = {
+        "_id": f"rec-{index:06d}",
+        "type": "record",
+        "mid": str(index % 16),
+        "name": f"patient-{index}",
+        "stage": str(index % 4),
+    }
+    if index % 5 == 0:  # 20% of documents carry labeled fields
+        labels = LABELS[index % len(LABELS)]
+        doc["name"] = with_labels(doc["name"], labels)
+        doc["stage"] = with_labels(doc["stage"], labels)
+    return doc
+
+
+def _fill(database, docs: int) -> None:
+    for index in range(docs):
+        database.put(_document(index))
+
+
+def measure_put(docs: int, root: Path) -> dict:
+    results = {}
+    memory = make_database("bench-mem")
+    started = time.perf_counter()
+    _fill(memory, docs)
+    results["memory_docs_per_s"] = round(docs / (time.perf_counter() - started))
+
+    for fsync_batch in (1, 8, 64):
+        directory = root / f"put-fsync{fsync_batch}"
+        database = open_durable_database(
+            str(directory), "bench", fsync_batch=fsync_batch
+        )
+        started = time.perf_counter()
+        _fill(database, docs)
+        flush_durable(database)
+        elapsed = time.perf_counter() - started
+        close_durable(database)
+        results[f"durable_fsync{fsync_batch}_docs_per_s"] = round(docs / elapsed)
+    return results
+
+
+def measure_replicate(docs: int, root: Path) -> dict:
+    results = {}
+    source = make_database("bench-src")
+    _fill(source, docs)
+
+    target_memory = make_database("bench-dst-mem", read_only=True)
+    started = time.perf_counter()
+    Replicator(source, target_memory, batch_size=100).replicate()
+    results["memory_batch100_docs_per_s"] = round(
+        docs / (time.perf_counter() - started)
+    )
+
+    directory = root / "replica"
+    target = open_durable_database(str(directory), "bench-dst", read_only=True)
+    started = time.perf_counter()
+    Replicator(source, target, batch_size=100).replicate()
+    results["durable_batch100_docs_per_s"] = round(
+        docs / (time.perf_counter() - started)
+    )
+    close_durable(target)
+    return results
+
+
+def measure_recovery(log_lengths, root: Path) -> dict:
+    results = {}
+    for length in log_lengths:
+        # Pure WAL replay: `length` records, no snapshot.
+        directory = root / f"recover-wal-{length}"
+        database = open_durable_database(str(directory), "bench")
+        _fill(database, length)
+        flush_durable(database)
+        close_durable(database)
+        started = time.perf_counter()
+        recovered = open_durable_database(str(directory), "bench")
+        results[f"wal_{length}_ms"] = round(
+            (time.perf_counter() - started) * 1e3, 2
+        )
+        assert len(recovered) == length
+        close_durable(recovered)
+
+        # Same state compacted: snapshot + empty WAL.
+        directory = root / f"recover-snap-{length}"
+        database = open_durable_database(str(directory), "bench")
+        _fill(database, length)
+        snapshot_durable(database)
+        close_durable(database)
+        started = time.perf_counter()
+        recovered = open_durable_database(str(directory), "bench")
+        results[f"snapshot_{length}_ms"] = round(
+            (time.perf_counter() - started) * 1e3, 2
+        )
+        assert len(recovered) == length
+        close_durable(recovered)
+    return results
+
+
+def git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller document counts for a smoke run"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=RESULTS_PATH, help="result file to append to"
+    )
+    parser.add_argument(
+        "--note", default="", help="free-form tag recorded with the entry"
+    )
+    args = parser.parse_args()
+
+    docs = 500 if args.quick else 3000
+    log_lengths = (200, 1000) if args.quick else (500, 2000, 8000)
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-durability-"))
+    try:
+        entry = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "revision": git_revision(),
+            "note": args.note,
+            "config": {"docs": docs, "recovery_log_lengths": list(log_lengths)},
+            "durability": {
+                "put": measure_put(docs, scratch),
+                "replicate": measure_replicate(docs, scratch),
+                "recovery": measure_recovery(log_lengths, scratch),
+            },
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    history = []
+    if args.output.exists():
+        try:
+            history = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

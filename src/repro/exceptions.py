@@ -73,6 +73,17 @@ class ReplicationError(SafeWebError):
     """Push replication failed or was attempted against the firewall direction."""
 
 
+class WalError(SafeWebError):
+    """The durability layer refused an operation.
+
+    Raised when a write-ahead log is opened against a mismatched store
+    shape, or after the log entered the failed state (an append or fsync
+    raised): once the on-disk tail can no longer be trusted to contain
+    every acknowledged write, further writes are refused rather than
+    risking an acknowledged-write gap in the recovered prefix (the
+    PostgreSQL fsync-panic posture; see ``docs/DURABILITY.md``)."""
+
+
 class FirewallError(SafeWebError):
     """A connection was attempted against the permitted zone direction."""
 

@@ -10,6 +10,12 @@ The MDT deployment uses three stores, all reproduced here:
   (:mod:`repro.storage.replication`) and a CouchRest-like model layer
   (:mod:`repro.storage.couchrest`). The seed implementation survives as
   the executable spec in :mod:`repro.storage.reference`;
+  The application database is durable on request: per-shard write-ahead
+  logs with group-commit fsync batching and compacted snapshots
+  (:mod:`repro.storage.wal`), crash recovery and persisted replication
+  checkpoints (:mod:`repro.storage.recovery`), proven against
+  deterministic fault injection (:mod:`repro.storage.faults`) — see
+  ``docs/DURABILITY.md``;
 * the **web database** — SQLite, holding users, privileges and sessions
   (:mod:`repro.storage.webdb`);
 * the **main cancer registration database** — simulated relational store
@@ -37,6 +43,15 @@ from repro.storage.reference import ReferenceDatabase
 from repro.storage.couchrest import Model
 from repro.storage.webdb import WebDatabase
 from repro.storage.maindb import MainDatabase, Patient, Treatment, Tumour
+from repro.storage.faults import NULL_FAULTS, FaultInjector, SimulatedCrash
+from repro.storage.recovery import (
+    CheckpointStore,
+    close_durable,
+    flush_durable,
+    open_durable_database,
+    snapshot_durable,
+)
+from repro.storage.wal import ShardDurability, SnapshotStore, WalWriter, read_wal
 
 __all__ = [
     "Change",
@@ -56,4 +71,16 @@ __all__ = [
     "Patient",
     "Tumour",
     "Treatment",
+    "FaultInjector",
+    "SimulatedCrash",
+    "NULL_FAULTS",
+    "CheckpointStore",
+    "open_durable_database",
+    "flush_durable",
+    "snapshot_durable",
+    "close_durable",
+    "ShardDurability",
+    "SnapshotStore",
+    "WalWriter",
+    "read_wal",
 ]

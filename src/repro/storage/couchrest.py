@@ -24,14 +24,43 @@ finders ride the incremental per-key view index either way.
 
 from __future__ import annotations
 
-import itertools
+import threading
 from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.labels import LabelSet
 from repro.exceptions import SafeWebError
 from repro.storage.docstore import DocumentDatabase
 
-_doc_ids = itertools.count(1)
+
+class _DocIdCounter:
+    """Process-wide allocator for generated ``{model}-N`` document ids.
+
+    A bare ``itertools.count`` restarts at 1 in every process, so a
+    model bound to a *recovered* durable database would re-issue ids
+    the store already holds and every ``save()`` would die with
+    ``DocumentConflict``. :meth:`Model.use` therefore advances the
+    floor past the highest generated id the database already contains
+    (tombstones included — a deleted document's id must not come back
+    as a different record).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 1
+
+    def allocate(self) -> int:
+        with self._lock:
+            value = self._next
+            self._next += 1
+            return value
+
+    def advance_past(self, value: int) -> None:
+        with self._lock:
+            if value >= self._next:
+                self._next = value + 1
+
+
+_doc_ids = _DocIdCounter()
 
 
 class Model:
@@ -60,6 +89,15 @@ class Model:
         cls._database = database
         for attribute in cls.view_by:
             database.define_view(cls._view_name(attribute), _make_map(attribute))
+        # A recovered database already holds generated ids; keep the
+        # allocator ahead of every ``{model}-N`` it contains (the
+        # changes feed covers tombstones, which all_docs would miss).
+        prefix = f"{cls.__name__.lower()}-"
+        for change in database.changes(since=0):
+            if change.doc_id.startswith(prefix):
+                suffix = change.doc_id[len(prefix):]
+                if suffix.isdigit():
+                    _doc_ids.advance_past(int(suffix))
 
     @classmethod
     def database(cls) -> DocumentDatabase:
@@ -115,7 +153,9 @@ class Model:
     def save(self) -> "Model":
         database = type(self).database()
         if "_id" not in self._attributes:
-            self._attributes["_id"] = f"{type(self).__name__.lower()}-{next(_doc_ids)}"
+            self._attributes["_id"] = (
+                f"{type(self).__name__.lower()}-{_doc_ids.allocate()}"
+            )
         outcome = database.put(self._attributes)
         self._attributes["_rev"] = outcome["rev"]
         return self

@@ -95,6 +95,18 @@ class SequenceAllocator:
         with self._lock:
             return self._value
 
+    def advance_to(self, value: int) -> None:
+        """Raise the high-water mark to at least *value* (never lowers).
+
+        Crash recovery calls this after replaying every shard's WAL so
+        post-recovery writes continue the store-wide sequence instead of
+        re-issuing sequences the changes feed (and any replication
+        checkpoint) has already seen.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
 
 @dataclass
 class _StoredDocument:
@@ -233,6 +245,9 @@ class Database:
         #: invalidated whenever the document changes.
         self._decoded_cache: Dict[str, Any] = {}
         self._listeners: List[Callable[[List[Change]], None]] = []
+        #: Optional :class:`repro.storage.wal.ShardDurability`; when set,
+        #: every commit is WAL-logged before the write is acknowledged.
+        self._durability = None
 
     # -- writes ----------------------------------------------------------------
 
@@ -244,6 +259,7 @@ class Database:
         presented ``_rev`` must match the stored revision (MVCC).
         """
         result, change = self._put(document)
+        self._durable_point()
         self._notify([change])
         return result
 
@@ -304,6 +320,7 @@ class Database:
             else:
                 fresh.pop("_rev", None)
             result, change = self._put(fresh)
+        self._durable_point()
         self._notify([change])
         return result
 
@@ -321,6 +338,7 @@ class Database:
             tombstone_rev = _next_rev(existing.rev, json.dumps(None))
             stored = _StoredDocument(doc_id, tombstone_rev, None, {}, deleted=True)
             change = self._commit(stored, existing)
+        self._durable_point()
         self._notify([change])
         return {"id": doc_id, "rev": tombstone_rev}
 
@@ -357,6 +375,7 @@ class Database:
                 existing = self._documents.get(stored.doc_id)
                 changes.append(self._commit(stored, existing, seq=seq))
                 seq += 1
+        self._durable_barrier()
         self._notify(changes)
         return len(changes)
 
@@ -380,10 +399,86 @@ class Database:
             stored.order = self._seq  # creations (and recreations) append
         change = Change(self._seq, stored.doc_id, stored.rev, stored.deleted)
         self._changes.append(change)
+        if self._durability is not None:
+            # Write-ahead under the same lock hold that installed the
+            # revision: the log is strictly append-ordered with commits,
+            # so recovery always yields a prefix of the commit history.
+            self._durability.log_commit(stored, self._seq)
         self._decoded_cache.pop(stored.doc_id, None)
         for view in self._views.values():
             self._index_one(view, stored)
         return change
+
+    # -- durability -----------------------------------------------------------
+
+    def attach_durability(self, durability) -> None:
+        """Attach a :class:`repro.storage.wal.ShardDurability`.
+
+        Call after :meth:`load_recovered` and before serving writes —
+        recovery loads must not be re-logged. Use
+        :func:`repro.storage.recovery.open_durable_database` rather than
+        wiring this by hand.
+        """
+        self._durability = durability
+
+    @property
+    def durability(self):
+        return self._durability
+
+    def _durable_point(self) -> None:
+        """Single-document acknowledgement point: batched fsync + maybe
+        snapshot. Runs after the store lock is released; any thread's
+        fsync covers every previously appended record."""
+        durability = self._durability
+        if durability is not None:
+            durability.commit_point(self)
+
+    def _durable_barrier(self) -> None:
+        """Replication-batch acknowledgement point: one group-commit
+        fsync per batch, whatever the configured ``fsync_batch``."""
+        durability = self._durability
+        if durability is not None:
+            durability.batch_point(self)
+
+    def durable_state(self) -> Dict[str, Any]:
+        """The snapshot payload: every stored document (tombstones
+        included) at its latest change sequence, plus the shard's last
+        recorded sequence. Keeping tombstones preserves MVCC conflict
+        detection and replication of deletes across a restart."""
+        with self._lock:
+            docs = []
+            for change in self.changes(since=0):
+                stored = self._documents[change.doc_id]
+                docs.append(
+                    [
+                        "c",
+                        change.seq,
+                        stored.doc_id,
+                        stored.rev,
+                        stored.body,
+                        stored.sidecar,
+                        1 if stored.deleted else 0,
+                        stored.order,
+                    ]
+                )
+            return {"seq": self._seq, "docs": docs}
+
+    def load_recovered(self, entries: Iterable[Tuple[int, _StoredDocument]]) -> None:
+        """Install recovered ``(seq, stored_document)`` entries.
+
+        Entries must ascend by sequence (later entries override earlier
+        ones for the same document — WAL replay order). Bypasses MVCC,
+        read-only protection, WAL logging and listeners by design: this
+        reconstructs state that was already acknowledged. Register views
+        *after* loading; :meth:`define_view` indexes the recovered
+        documents exactly as it indexes pre-existing ones.
+        """
+        with self._lock:
+            for seq, stored in entries:
+                self._documents[stored.doc_id] = stored
+                self._changes.append(Change(seq, stored.doc_id, stored.rev, stored.deleted))
+                if seq > self._seq:
+                    self._seq = seq
 
     def _guard_writable(self) -> None:
         if self.read_only:

@@ -118,35 +118,48 @@ class MainDatabase:
         tumours: Iterable[Tumour] = (),
         treatments: Iterable[Treatment] = (),
     ) -> None:
-        """Insert many rows under one lock acquisition.
+        """Insert many rows under one lock acquisition, atomically.
 
         Referential order is enforced within the call (patients before
-        tumours before treatments), matching the per-row insert checks.
-        The workload generator uses this so building a large synthetic
-        registry is one critical section, not one per row.
+        tumours before treatments), matching the per-row insert checks —
+        but validation runs over the *whole* batch before any row is
+        applied, so a bad row midway leaves the database untouched
+        instead of half-loaded. The workload generator uses this so
+        building a large synthetic registry is one critical section,
+        not one per row.
         """
+        patients = list(patients)
+        tumours = list(tumours)
+        treatments = list(treatments)
         with self._lock:
+            known_patients = set(self._patients)
             for patient in patients:
-                if patient.patient_id in self._patients:
+                if patient.patient_id in known_patients:
                     raise ValueError(f"duplicate patient {patient.patient_id!r}")
+                known_patients.add(patient.patient_id)
+            known_tumours = set(self._tumours)
+            for tumour in tumours:
+                if tumour.patient_id not in known_patients:
+                    raise ValueError(
+                        f"tumour references unknown patient {tumour.patient_id!r}"
+                    )
+                known_tumours.add(tumour.tumour_id)
+            for treatment in treatments:
+                if treatment.tumour_id not in known_tumours:
+                    raise ValueError(
+                        f"treatment references unknown tumour {treatment.tumour_id!r}"
+                    )
+            for patient in patients:
                 self._patients[patient.patient_id] = patient
                 self._patients_by_mdt.setdefault(patient.mdt_id, []).append(
                     patient.patient_id
                 )
             for tumour in tumours:
-                if tumour.patient_id not in self._patients:
-                    raise ValueError(
-                        f"tumour references unknown patient {tumour.patient_id!r}"
-                    )
                 self._tumours[tumour.tumour_id] = tumour
                 self._tumours_by_patient.setdefault(tumour.patient_id, []).append(
                     tumour.tumour_id
                 )
             for treatment in treatments:
-                if treatment.tumour_id not in self._tumours:
-                    raise ValueError(
-                        f"treatment references unknown tumour {treatment.tumour_id!r}"
-                    )
                 self._treatments[treatment.treatment_id] = treatment
                 self._treatments_by_tumour.setdefault(treatment.tumour_id, []).append(
                     treatment.treatment_id

@@ -10,6 +10,12 @@ are pinned to this implementation:
 
 * ``tests/property/test_sharded_store.py`` drives random operation
   sequences through both stores and asserts identical results;
+* ``tests/property/test_crash_recovery.py`` uses it the same way for
+  durability: a store recovered after a simulated crash must be
+  observation-equivalent to this class replaying a prefix of the
+  acknowledged write history. The reference itself stays purely
+  in-memory — it is the specification recovery is judged against,
+  never a durable store;
 * ``scripts/bench_storage.py`` measures this class as the "seed path"
   baseline in every ``BENCH_storage.json`` snapshot.
 

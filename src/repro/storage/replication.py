@@ -90,6 +90,7 @@ class Replicator:
         source: DocumentDatabase,
         target: DocumentDatabase,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        checkpoint_store=None,
     ):
         if batch_size < 1:
             raise ReplicationError("batch_size must be at least 1")
@@ -100,6 +101,24 @@ class Replicator:
         #: checkpoint key (shard name, or "" for unsharded) -> last
         #: fully-applied sequence. Only complete batches advance these.
         self._checkpoints: Dict[str, int] = {}
+        #: Optional :class:`repro.storage.recovery.CheckpointStore`:
+        #: checkpoints are re-persisted after every completed batch, so
+        #: a restarted replicator resumes per completed batch. Each
+        #: loaded checkpoint is clamped to its feed's *current* sequence:
+        #: a recovered source may have rolled back un-fsynced tail
+        #: sequences, and a persisted checkpoint past the recovered
+        #: watermark would silently skip the re-issued sequences.
+        #: Clamping re-ships instead — replicated revisions apply
+        #: verbatim, so re-shipping converges while skipping loses
+        #: documents. (Construct the replicator before new traffic, as
+        #: the deployment does, so the clamp sees the recovered seq.)
+        self._checkpoint_store = checkpoint_store
+        if checkpoint_store is not None:
+            loaded = dict(checkpoint_store.load())
+            for key, feed, _sink in _shard_pairs(source, target):
+                if key in loaded:
+                    loaded[key] = min(loaded[key], feed.update_seq)
+            self._checkpoints = loaded
 
     def replicate(self) -> ReplicationResult:
         """One push pass; returns what moved (and in how many batches)."""
@@ -128,6 +147,8 @@ class Replicator:
             # a failure above leaves it at the previous batch boundary,
             # so the next pass resumes without losing documents.
             self._checkpoints[key] = batch[-1].seq
+            if self._checkpoint_store is not None:
+                self._checkpoint_store.save(self._checkpoints)
             result.batches += 1
 
     @staticmethod
@@ -189,6 +210,15 @@ class ContinuousReplicator:
     they land instead of one polling interval later. *interval* remains
     as a fallback heartbeat (and :meth:`wake` still forces a pass, used
     by tests and by the storage unit after bursts of writes).
+
+    A failing pass (say, a transiently read-only target mid-promotion)
+    must not kill the daemon thread: the exception is contained,
+    counted, optionally audited (``replication/continuous`` denied),
+    and the pass is retried under capped exponential backoff —
+    ``interval`` doubling per consecutive failure up to *max_backoff* —
+    resetting on the first success. ``stop()``/``start()`` cycles are
+    supported: start re-arms the stop flag, so a restarted replicator
+    actually runs.
     """
 
     def __init__(
@@ -197,20 +227,34 @@ class ContinuousReplicator:
         target: DocumentDatabase,
         interval: float = 1.0,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        checkpoint_store=None,
+        audit=None,
+        max_backoff: float = 30.0,
     ):
-        self._replicator = Replicator(source, target, batch_size=batch_size)
+        self._replicator = Replicator(
+            source, target, batch_size=batch_size, checkpoint_store=checkpoint_store
+        )
         self._source = source
         self._interval = interval
+        self._max_backoff = max_backoff
+        self._audit = audit
         self._wakeup = threading.Event()
         self._stopping = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._listening = False
         self.passes = 0
         self.total_docs = 0
+        #: Total failed passes, and the most recent failure (diagnostics).
+        self.failures = 0
+        self.last_error: Optional[BaseException] = None
 
     def start(self) -> "ContinuousReplicator":
         if self._thread is not None:
             return self
+        # A previous stop() left these set; a fresh thread must not see
+        # them or it exits before its first pass.
+        self._stopping.clear()
+        self._wakeup.clear()
         listen = getattr(self._source, "add_change_listener", None)
         if listen is not None and not self._listening:
             listen(self._on_source_changes)
@@ -240,8 +284,31 @@ class ContinuousReplicator:
         self._wakeup.set()
 
     def _loop(self) -> None:
+        consecutive_failures = 0
         while not self._stopping.is_set():
-            result = self._replicator.replicate()
+            try:
+                result = self._replicator.replicate()
+            except Exception as exc:
+                consecutive_failures += 1
+                self.failures += 1
+                self.last_error = exc
+                if self._audit is not None:
+                    self._audit.denied(
+                        "replication",
+                        "continuous",
+                        "system",
+                        detail=f"pass failed ({consecutive_failures} consecutive): {exc!r}",
+                    )
+                delay = min(
+                    self._interval * (2 ** (consecutive_failures - 1)),
+                    self._max_backoff,
+                )
+                # Wait on the stop flag, not the wakeup event: backoff
+                # stays responsive to stop() but a write burst cannot
+                # collapse it into a hot retry loop.
+                self._stopping.wait(delay)
+                continue
+            consecutive_failures = 0
             self.passes += 1
             self.total_docs += result.docs_written + result.deletions
             self._wakeup.wait(self._interval)

@@ -1,0 +1,443 @@
+"""Per-shard write-ahead log and compacted snapshots.
+
+Durability for the sharded document store (ROADMAP item 4) is built
+from two on-disk artefacts per shard, both living in the shard's data
+directory:
+
+* ``wal.log`` — an append-only log of CRC-framed records, one per
+  committed revision, carrying exactly the single-pass labeled document
+  encoding the store already holds in memory: the plain body plus the
+  RFC 6901 label sidecar produced by
+  :func:`repro.taint.json_codec.encode_document` at original write
+  time, the assigned store-wide sequence, the MVCC revision and the
+  insertion-order slot. Nothing is re-serialised on the way down — the
+  LWeb position (PAPERS.md) that labels must persist *with* the data
+  they guard falls out of reusing the stored form;
+* ``snapshot.json`` — a CRC-checked, atomically-renamed compaction of
+  the full shard state at one sequence; after a snapshot lands the WAL
+  is reset, bounding both log length and recovery time.
+
+**Group-commit fsync batching.** Appends land in the OS page cache
+immediately; ``fsync`` runs every *fsync_batch* records (``1`` = every
+write) and always at a replication batch boundary — the batch-put path
+(:meth:`repro.storage.docstore.Database.replication_put_batch`) is one
+group commit. The acknowledgement contract this buys is spelled out in
+``docs/DURABILITY.md``: recovery yields a *prefix* of the submitted
+write history, and every write covered by a completed fsync is in it.
+
+**Failure posture.** Any append or fsync error poisons the writer
+(:class:`~repro.exceptions.WalError` on further use): once the log tail
+is suspect, acknowledging more writes could leave a gap inside the
+recovered prefix, which is the one inexcusable outcome.
+
+Every instrumented instant calls into a
+:class:`~repro.storage.faults.FaultInjector` (default: no-op), which is
+how the crash-recovery property suite stops the world mid-append,
+between fsyncs, or between a snapshot rename and the WAL reset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import WalError
+from repro.storage.docstore import _sidecar_labels, _StoredDocument
+from repro.storage.faults import NULL_FAULTS, FaultInjector, SimulatedCrash
+
+#: WAL file header; bump the digit on any framing change.
+WAL_HEADER = b"SWAL1\n"
+
+#: Frame prefix: payload length, CRC-32 of the payload.
+_FRAME = struct.Struct("<II")
+
+#: Default number of appended records between fsyncs (1 = sync every write).
+DEFAULT_FSYNC_BATCH = 8
+
+#: Default number of WAL records between compacted snapshots.
+DEFAULT_SNAPSHOT_EVERY = 1024
+
+
+def encode_commit(seq: int, stored: _StoredDocument) -> bytes:
+    """One WAL record: the stored form of one committed revision.
+
+    JSON keeps the record human-greppable and reuses the storable-JSON
+    guarantee ``put`` already enforced on the body. Object keys must be
+    strings (a JSON round-trip would coerce others; the store's own
+    canonical dump enforces this for every storable document).
+    """
+    return json.dumps(
+        [
+            "c",
+            seq,
+            stored.doc_id,
+            stored.rev,
+            stored.body,
+            stored.sidecar,
+            1 if stored.deleted else 0,
+            stored.order,
+        ],
+        separators=(",", ":"),
+    ).encode()
+
+
+def decode_commit(record: List) -> Tuple[int, _StoredDocument]:
+    """Inverse of :func:`encode_commit`; recomputes the interned label
+    union from the sidecar (cheap — labels hash-cons)."""
+    kind, seq, doc_id, rev, body, sidecar, deleted, order = record
+    if kind != "c":
+        raise WalError(f"unknown WAL record kind {kind!r}")
+    sidecar = {pointer: list(uris) for pointer, uris in sidecar.items()}
+    return seq, _StoredDocument(
+        doc_id,
+        rev,
+        body,
+        sidecar,
+        deleted=bool(deleted),
+        order=order,
+        labels=_sidecar_labels(sidecar),
+    )
+
+
+def read_wal(path: str) -> Tuple[List[List], int, bool]:
+    """Read every intact record; tolerate a torn tail.
+
+    Returns ``(records, valid_length, torn)`` where *valid_length* is
+    the byte offset of the last intact record boundary — the writer
+    truncates to it before reuse — and *torn* reports whether trailing
+    bytes (a partial or corrupt final record) were discarded. A missing
+    file or an unrecognisable header reads as empty.
+    """
+    if not os.path.exists(path):
+        return [], 0, False
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if data[: len(WAL_HEADER)] != WAL_HEADER:
+        # Torn header (power loss during creation): nothing recoverable.
+        return [], 0, len(data) > 0
+    offset = len(WAL_HEADER)
+    records: List[List] = []
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            break  # partial payload: torn tail
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt record: distrust everything after it
+        try:
+            records.append(json.loads(payload))
+        except ValueError:
+            break
+        offset = end
+    return records, offset, offset < len(data)
+
+
+class WalWriter:
+    """Appends CRC-framed records with group-commit fsync batching.
+
+    Thread contract: ``append`` runs under the owning shard's lock (the
+    commit choke point), ``sync``/``maybe_sync`` may run from any thread
+    after the lock is released — an internal lock keeps the counters and
+    the file coherent, and any thread's fsync covers every prior append.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync_batch: int = DEFAULT_FSYNC_BATCH,
+        faults: FaultInjector = NULL_FAULTS,
+        valid_length: Optional[int] = None,
+    ):
+        if fsync_batch < 1:
+            raise WalError("fsync_batch must be at least 1")
+        self._lock = threading.RLock()
+        self._faults = faults
+        self._fsync_batch = fsync_batch
+        self._failed = False
+        self._file = faults.open(path, "ab")
+        if self._file.written == 0:
+            self._file.write(WAL_HEADER)
+            self._file.fsync()
+        elif valid_length is not None and valid_length < self._file.written:
+            # Drop the torn tail a recovery reported before appending
+            # after it — a new record must start at a frame boundary.
+            self._file.truncate_to(max(valid_length, 0))
+        #: Records appended / covered by a completed fsync, this process.
+        self.appended = 0
+        self.durable = 0
+
+    def append(self, payload: bytes) -> None:
+        with self._lock:
+            self._guard()
+            try:
+                self._faults.hit("wal.append.before")
+                frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+                torn_keep = self._faults.take_torn_keep(len(frame))
+                if torn_keep is not None:
+                    # A simulated mid-append crash: part of the frame
+                    # reaches the file, then the process dies.
+                    self._file.write(frame[:torn_keep])
+                    self._file.flush()
+                    raise SimulatedCrash("wal.append.torn")
+                self._file.write(frame)
+                self.appended += 1
+                self._faults.hit("wal.append.after")
+            except BaseException:
+                self._failed = True
+                raise
+
+    def maybe_sync(self) -> None:
+        """Group commit: fsync once *fsync_batch* records are pending."""
+        with self._lock:
+            if self.appended - self.durable >= self._fsync_batch:
+                self.sync()
+
+    def sync(self) -> None:
+        """Fsync everything appended so far (no-op when already durable)."""
+        with self._lock:
+            self._guard()
+            if self.durable == self.appended:
+                return
+            try:
+                self._faults.hit("wal.sync.before")
+                self._file.fsync()
+                self._faults.hit("wal.sync.after")
+            except BaseException:
+                self._failed = True
+                raise
+            self.durable = self.appended
+
+    def reset(self) -> None:
+        """Truncate back to the header after a snapshot landed."""
+        with self._lock:
+            self._guard()
+            try:
+                self._file.truncate_to(len(WAL_HEADER))
+                self._file.fsync()
+                self._faults.hit("wal.reset")
+            except BaseException:
+                self._failed = True
+                raise
+            self.appended = 0
+            self.durable = 0
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self.appended - self.durable
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def _guard(self) -> None:
+        if self._failed:
+            raise WalError(
+                "write-ahead log entered the failed state (an earlier append "
+                "or fsync raised); reopen the store to recover"
+            )
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class SnapshotStore:
+    """One CRC-checked snapshot file, replaced atomically.
+
+    The tmp file is fully written and fsynced *before* the rename, so
+    ``snapshot.json`` is always either the previous complete snapshot or
+    the new complete snapshot — never a partial one. The CRC line guards
+    against bit rot and fault-injected corruption.
+    """
+
+    def __init__(self, directory: str, faults: FaultInjector = NULL_FAULTS):
+        self._path = os.path.join(os.fspath(directory), "snapshot.json")
+        self._tmp = self._path + ".tmp"
+        self._faults = faults
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def write(self, payload: Dict) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode()
+        self._faults.hit("snapshot.begin")
+        handle = self._faults.open(self._tmp, "wb")
+        try:
+            handle.write(b"%08x\n" % zlib.crc32(body))
+            handle.write(body)
+            handle.fsync()
+        finally:
+            handle.close()
+        self._faults.hit("snapshot.written")
+        self._faults.replace(self._tmp, self._path)
+        self._faults.hit("snapshot.renamed")
+
+    def load(self) -> Optional[Dict]:
+        if not os.path.exists(self._path):
+            return None
+        with open(self._path, "rb") as handle:
+            raw = handle.read()
+        newline = raw.find(b"\n")
+        if newline < 0:
+            return None
+        body = raw[newline + 1 :]
+        try:
+            if int(raw[:newline], 16) != zlib.crc32(body):
+                return None
+            return json.loads(body)
+        except ValueError:
+            return None
+
+
+@dataclass
+class RecoveredShard:
+    """What one shard's durability directory yielded at recovery."""
+
+    #: ``(seq, stored_document)`` in ascending sequence order — snapshot
+    #: state first, then replayed WAL records (later records override).
+    entries: List[Tuple[int, _StoredDocument]]
+    #: Highest sequence recovered (snapshot seq when the WAL was empty).
+    last_seq: int
+    #: A torn or corrupt WAL tail was discarded.
+    torn: bool
+    #: WAL records replayed on top of the snapshot.
+    replayed: int
+
+
+class ShardDurability:
+    """WAL + snapshot manager for one :class:`~repro.storage.docstore.Database`.
+
+    Attached via
+    :meth:`~repro.storage.docstore.Database.attach_durability`; the
+    store calls :meth:`log_commit` from its commit choke point (under
+    the shard lock), :meth:`commit_point` after each single-document
+    write and :meth:`batch_point` after each replication batch.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync_batch: int = DEFAULT_FSYNC_BATCH,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        faults: FaultInjector = NULL_FAULTS,
+    ):
+        if snapshot_every < 1:
+            raise WalError("snapshot_every must be at least 1")
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._wal_path = os.path.join(self.directory, "wal.log")
+        self._snapshots = SnapshotStore(self.directory, faults)
+        self._faults = faults
+        self._fsync_batch = fsync_batch
+        self._snapshot_every = snapshot_every
+        self._writer: Optional[WalWriter] = None
+        self._snapshot_seq = 0
+        self._records_since_snapshot = 0
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover(self) -> RecoveredShard:
+        """Load snapshot + replay the WAL; open the writer for reuse.
+
+        WAL records at or below the snapshot sequence are skipped (a
+        crash between the snapshot rename and the WAL reset leaves them
+        behind); a torn tail is measured here and truncated away by the
+        writer before any new append.
+        """
+        snapshot = self._snapshots.load()
+        entries: List[Tuple[int, _StoredDocument]] = []
+        snapshot_seq = 0
+        if snapshot is not None:
+            snapshot_seq = snapshot["seq"]
+            for record in snapshot["docs"]:
+                entries.append(decode_commit(record))
+        records, valid_length, torn = read_wal(self._wal_path)
+        replayed = 0
+        for record in records:
+            seq, stored = decode_commit(record)
+            if seq <= snapshot_seq:
+                continue
+            entries.append((seq, stored))
+            replayed += 1
+        entries.sort(key=lambda entry: entry[0])
+        last_seq = entries[-1][0] if entries else snapshot_seq
+        last_seq = max(last_seq, snapshot_seq)
+        self._writer = WalWriter(
+            self._wal_path,
+            fsync_batch=self._fsync_batch,
+            faults=self._faults,
+            valid_length=valid_length,
+        )
+        self._snapshot_seq = snapshot_seq
+        self._records_since_snapshot = replayed
+        return RecoveredShard(entries, last_seq, torn, replayed)
+
+    # -- the write path --------------------------------------------------------
+
+    def log_commit(self, stored: _StoredDocument, seq: int) -> None:
+        """Append one committed revision (called under the shard lock)."""
+        self._require_writer().append(encode_commit(seq, stored))
+        self._records_since_snapshot += 1
+
+    def commit_point(self, database) -> None:
+        """After a single-document write: batched fsync, maybe snapshot."""
+        self._require_writer().maybe_sync()
+        self._maybe_snapshot(database)
+
+    def batch_point(self, database) -> None:
+        """After a replication batch: group-commit fsync, maybe snapshot."""
+        self._require_writer().sync()
+        self._maybe_snapshot(database)
+
+    def sync(self) -> None:
+        self._require_writer().sync()
+
+    def _maybe_snapshot(self, database) -> None:
+        if self._records_since_snapshot >= self._snapshot_every:
+            self.snapshot(database)
+
+    def snapshot(self, database) -> None:
+        """Compact: serialise the shard, land it atomically, reset the WAL.
+
+        Runs entirely under the shard lock so no commit can slip between
+        the serialised state and the WAL reset — a record appended in
+        that window would be discarded by the reset without being in the
+        snapshot, losing an acknowledged write.
+        """
+        with database._lock:
+            payload = database.durable_state()
+            self._snapshots.write(payload)
+            self._require_writer().reset()
+            self._snapshot_seq = payload["seq"]
+            self._records_since_snapshot = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def writer(self) -> Optional[WalWriter]:
+        return self._writer
+
+    @property
+    def snapshot_seq(self) -> int:
+        return self._snapshot_seq
+
+    @property
+    def records_since_snapshot(self) -> int:
+        return self._records_since_snapshot
+
+    def _require_writer(self) -> WalWriter:
+        if self._writer is None:
+            raise WalError("ShardDurability used before recover()")
+        return self._writer
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()

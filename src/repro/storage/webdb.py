@@ -170,6 +170,15 @@ class WebDatabase:
             ).fetchone()
         return None if row is None else dict(row)
 
+    def has_users(self) -> bool:
+        """True once any user account exists. A file-backed database
+        reopened from disk already holds its workload's accounts; callers
+        use this to skip re-provisioning (which would violate the UNIQUE
+        username constraint)."""
+        with self._lock:
+            row = self._connection.execute("SELECT 1 FROM users LIMIT 1").fetchone()
+        return row is not None
+
     def user_names(self) -> List[str]:
         with self._lock:
             rows = self._connection.execute("SELECT name FROM users ORDER BY name").fetchall()

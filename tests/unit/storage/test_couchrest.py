@@ -120,3 +120,28 @@ class TestDictBehaviour:
     def test_equality(self, db):
         assert Records({"a": 1}) == Records({"a": 1})
         assert Records({"a": 1}) != Records({"a": 2})
+
+
+class TestGeneratedIdRecovery:
+    """``use()`` advances the id allocator past every generated id the
+    database already holds — a model bound to a recovered durable store
+    must not re-issue ids and conflict on save."""
+
+    def test_use_advances_past_existing_generated_ids(self):
+        database = Database("recovered")
+        # A "recovered" store already holding generated ids (live,
+        # updated and tombstoned generations alike).
+        database.put({"_id": "records-9000", "mid": "1"})
+        out = database.put({"_id": "records-9001", "mid": "2"})
+        database.delete("records-9001", out["rev"])
+        Records.use(database)
+        saved = Records({"mid": "3"}).save()
+        number = int(saved.doc_id.rsplit("-", 1)[1])
+        assert number > 9001
+
+    def test_foreign_ids_do_not_move_the_allocator(self):
+        database = Database("other")
+        database.put({"_id": "records-notanumber", "mid": "1"})
+        database.put({"_id": "unrelated-doc", "mid": "2"})
+        Records.use(database)
+        Records({"mid": "3"}).save()  # must not raise

@@ -84,3 +84,37 @@ class TestCaseRecords:
         assert attributes["treatment_count"] == "2"
         assert attributes["treatments"] == "surgery;chemo"
         assert all(isinstance(v, str) for v in attributes.values())
+
+
+class TestAtomicBulkLoad:
+    """``bulk_load`` validates the whole batch before applying any row —
+    a bad row midway must leave the database untouched, not half-loaded."""
+
+    def test_bad_tumour_reference_rolls_back_everything(self):
+        db = MainDatabase()
+        with pytest.raises(ValueError):
+            db.bulk_load(
+                patients=[patient("p1"), patient("p2")],
+                tumours=[
+                    Tumour("t1", "p1", "lung", "II", "2020-01-01"),
+                    Tumour("t2", "missing", "lung", "II", "2020-01-01"),
+                ],
+            )
+        assert db.counts() == {"patients": 0, "tumours": 0, "treatments": 0}
+
+    def test_duplicate_patient_rolls_back_everything(self):
+        db = MainDatabase()
+        db.insert_patient(patient("p1"))
+        with pytest.raises(ValueError):
+            db.bulk_load(patients=[patient("p2"), patient("p1")])
+        assert db.counts()["patients"] == 1
+        assert db.patient("p2") is None
+
+    def test_batch_internal_references_still_load(self):
+        db = MainDatabase()
+        db.bulk_load(
+            patients=[patient("p1")],
+            tumours=[Tumour("t1", "p1", "lung", "II", "2020-01-01")],
+            treatments=[Treatment("tr1", "t1", "surgery", "2020-02-01")],
+        )
+        assert db.counts() == {"patients": 1, "tumours": 1, "treatments": 1}
