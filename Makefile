@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench docs-check
+.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench-supervision bench docs-check
 
 ## Show every target with its description.
 help:
@@ -42,6 +42,10 @@ bench-web:
 ## Engine perf snapshot: appends seed-vs-laned pipeline results to BENCH_pipeline.json.
 bench-pipeline:
 	$(PYTHON) scripts/bench_pipeline.py
+
+## Supervision overhead snapshot: appends E4 off-vs-on results to BENCH_pipeline.json.
+bench-supervision:
+	$(PYTHON) scripts/bench_supervision.py
 
 ## Fail if docs/*.md reference modules, files or make targets that don't exist.
 docs-check:

@@ -15,8 +15,18 @@ from repro.events.jail import Jail, isolate_callback
 from repro.events.unit import Unit, unit_from_function
 from repro.events.engine import EventProcessingEngine
 from repro.events.lanes import EngineStats, ExecutionLane, LaneScheduler
+from repro.events.supervision import (
+    CircuitBreaker,
+    SupervisionPolicy,
+    Supervisor,
+    dlq_topic,
+)
 
 __all__ = [
+    "CircuitBreaker",
+    "SupervisionPolicy",
+    "Supervisor",
+    "dlq_topic",
     "EngineStats",
     "ExecutionLane",
     "LaneScheduler",

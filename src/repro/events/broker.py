@@ -51,6 +51,7 @@ from repro.events.event import Event
 from repro.events.index import TopicTrie
 from repro.events.selector import Selector, parse_selector
 from repro.exceptions import SafeWebError
+from repro.faults import NULL_FAULTS, ChaosInjector
 
 _subscription_ids = itertools.count(1)
 _subscription_seq = itertools.count(1)
@@ -223,10 +224,15 @@ class Broker:
         label_checks: bool = True,
         raise_errors: bool = False,
         use_index: bool = True,
+        chaos: ChaosInjector = NULL_FAULTS,
     ):
         self._lock = threading.RLock()
         self._subscriptions: Dict[str, Subscription] = {}
         self._audit = audit if audit is not None else default_audit_log()
+        # Fault-injection hook (repro.faults); the publish/dispatch hot
+        # paths skip instrumentation entirely when nothing is armed.
+        self._chaos = chaos
+        self._chaos_active = chaos is not NULL_FAULTS
         self._threaded = threaded
         self._label_checks = label_checks
         #: When True (in-process deployments), subscriber exceptions
@@ -333,7 +339,13 @@ class Broker:
 
         In threaded mode the event is enqueued and the return value is 0;
         delivery counts accumulate in :attr:`stats`.
+
+        A chaos fault at ``broker.publish`` raises *to the publisher*
+        before the event is accepted — fail-stop, never silent: the
+        caller knows the event did not enter the broker.
         """
+        if self._chaos_active:
+            self._chaos.hit("broker.publish")
         self.stats.published += 1
         self._audit.note("broker", "publish", publisher, ALLOWED, event.labels)
         if self._threaded:
@@ -398,6 +410,8 @@ class Broker:
         visible in the log.
         """
         try:
+            if self._chaos_active:
+                self._chaos.hit("broker.dispatch")
             self._deliver(event)
         except Exception as error:  # noqa: BLE001 - the dispatcher must keep running
             self._audit.note(

@@ -51,6 +51,14 @@ from repro.events.event import Event
 from repro.events.jail import Jail, isolate_callback, _state as _jail_state
 from repro.events.lanes import BLOCK, EngineStats, LaneScheduler
 from repro.events.store import LabeledStore
+from repro.events.supervision import (
+    ALREADY_SUSPENDED,
+    RESTART,
+    SUSPEND,
+    SupervisionPolicy,
+    Supervisor,
+    UnitSupervisor,
+)
 from repro.events.unit import Unit
 from repro.exceptions import (
     DeclassificationError,
@@ -58,6 +66,7 @@ from repro.exceptions import (
     SafeWebError,
     SecurityViolation,
 )
+from repro.faults import NULL_FAULTS, ChaosInjector
 
 
 class _UnitServices:
@@ -122,6 +131,8 @@ class EventProcessingEngine:
         workers: int = 0,
         mailbox_capacity: int = 1024,
         backpressure: str = BLOCK,
+        supervision: Optional[SupervisionPolicy | Supervisor] = None,
+        chaos: ChaosInjector = NULL_FAULTS,
     ):
         self.broker = broker if broker is not None else Broker()
         self.policy = policy
@@ -133,6 +144,24 @@ class EventProcessingEngine:
         self._services: Dict[str, _UnitServices] = {}
         self._lock = threading.Lock()
         self.stats = EngineStats()
+        # ``supervision`` wraps every callback in the retry / restart /
+        # dead-letter ladder (docs/ROBUSTNESS.md); default off preserves
+        # the seed semantics exactly. Accepts a policy (the engine builds
+        # the Supervisor) or a ready Supervisor instance (tests inject
+        # subclasses). ``chaos`` is the fault-injection hook; hot paths
+        # skip instrumentation entirely when it is NULL_FAULTS.
+        if supervision is None:
+            self.supervisor: Optional[Supervisor] = None
+        elif isinstance(supervision, Supervisor):
+            self.supervisor = supervision
+        else:
+            self.supervisor = Supervisor(supervision)
+        self._chaos = chaos
+        self._chaos_active = chaos is not NULL_FAULTS
+        # Per-engine UnitSupervisor cache: Supervisor.unit() is stable
+        # per name, so a plain dict lookup on the delivery fast path
+        # avoids a method call per event (bench-supervision target).
+        self._unit_supervisors: Dict[str, UnitSupervisor] = {}
         self._scheduler: Optional[LaneScheduler] = None
         if workers:
             self._scheduler = LaneScheduler(
@@ -321,6 +350,12 @@ class EventProcessingEngine:
         else:
             callback = handler
 
+        # A chaos fault at the deliver point raises on the delivering
+        # thread, where the broker's containment audits it as a denied
+        # delivery — the same observable outcome in both engine modes.
+        chaos = self._chaos if self._chaos_active else None
+        deliver_point = f"engine.deliver:{principal.name}"
+
         if self._scheduler is not None:
             # Parallel mode: the broker's matching and clearance checks
             # still run on the publishing thread; the matched callback is
@@ -330,12 +365,26 @@ class EventProcessingEngine:
             lane = self._scheduler.lane(principal.name)
             submit = self._scheduler.submit
 
+            if chaos is None:
+
+                def deliver(event: Event) -> None:
+                    submit(lane, (principal, callback, event))
+
+            else:
+
+                def deliver(event: Event) -> None:
+                    chaos.hit(deliver_point)
+                    submit(lane, (principal, callback, event))
+
+        elif chaos is None:
+
             def deliver(event: Event) -> None:
-                submit(lane, (principal, callback, event))
+                self._run_callback(principal, callback, event)
 
         else:
 
             def deliver(event: Event) -> None:
+                chaos.hit(deliver_point)
                 self._run_callback(principal, callback, event)
 
         self.broker.subscribe(
@@ -359,6 +408,24 @@ class EventProcessingEngine:
         only changes synchronous-mode behaviour).
         """
         principal, callback, event = task
+        if self._chaos_active:
+            try:
+                self._chaos.hit(f"lane.execute:{principal.name}")
+            except Exception as error:  # noqa: BLE001 - injected lane fault
+                # The task never reached the callback: audit the loss and
+                # (when supervised) dead-letter it, so a lane-level fault
+                # is no more silent than a callback failure.
+                self.stats.bump("callback_errors")
+                self.audit.denied(
+                    "engine",
+                    "lane",
+                    principal.name,
+                    labels=event.labels,
+                    detail=f"lane execution fault: {error!r}",
+                )
+                if self.supervisor is not None:
+                    self._dead_letter(principal, event, repr(error), attempts=0)
+                return
         try:
             self._run_callback(principal, callback, event)
         except Exception:  # noqa: BLE001 - audited + counted in _run_callback
@@ -376,19 +443,28 @@ class EventProcessingEngine:
 
     def _run_callback(self, principal: UnitPrincipal, callback, event: Event) -> None:
         self.stats.bump("dispatched")
+        supervisor = self.supervisor
+        if supervisor is not None:
+            # Fault-free fast path: the first attempt runs inline here —
+            # the retry / dead-letter / restart ladder only costs a call
+            # frame once a callback actually fails (bench-supervision's
+            # ≤5 % overhead target).
+            unit_sup = self._unit_supervisors.get(principal.name)
+            if unit_sup is None:
+                unit_sup = supervisor.unit(principal.name)
+                self._unit_supervisors[principal.name] = unit_sup
+            if unit_sup.suspended:
+                self._dead_letter(principal, event, "unit suspended", attempts=0)
+                return
+            try:
+                self._invoke(principal, callback, event)
+            except SecurityViolation as violation:
+                self._audit_security_violation(principal, event, violation)
+            except Exception as error:  # noqa: BLE001 - supervised containment
+                self._run_supervised(principal, callback, event, unit_sup, error)
+            return
         try:
-            with LabelContext(event.labels):
-                if self.isolation and not principal.privileged:
-                    with self._jail.contained():
-                        callback(event)
-                elif principal.privileged:
-                    # A privileged unit may be invoked synchronously from a
-                    # jailed publisher; its own execution is legitimately
-                    # unjailed (the paper's $SAFE=0 units).
-                    with self._lifted_jail():
-                        callback(event)
-                else:
-                    callback(event)
+            self._invoke(principal, callback, event)
         except SecurityViolation as violation:
             self.stats.bump("callback_errors")
             self.audit.denied(
@@ -411,6 +487,186 @@ class EventProcessingEngine:
             )
             if self.raise_callback_errors:
                 raise
+
+    def _audit_security_violation(
+        self, principal: UnitPrincipal, event: Event, violation: SecurityViolation
+    ) -> None:
+        """Security violations are deterministic policy denials: audited,
+        never retried, never dead-lettered."""
+        self.stats.bump("callback_errors")
+        self.audit.denied(
+            "engine",
+            "callback",
+            principal.name,
+            labels=event.labels,
+            detail=f"{type(violation).__name__}: {violation}",
+        )
+
+    def _invoke(self, principal: UnitPrincipal, callback, event: Event) -> None:
+        """One callback invocation with its full security context.
+
+        The LabelContext and (for unjailed principals) jail containment
+        are entered *here*, per invocation — a supervised retry re-runs
+        this whole method, so every attempt starts from a fresh ambient
+        label set and a fresh containment scope.
+        """
+        if self._chaos_active:
+            self._chaos.hit(f"engine.callback.before:{principal.name}")
+        with LabelContext(event.labels):
+            if self.isolation and not principal.privileged:
+                with self._jail.contained():
+                    callback(event)
+            elif principal.privileged:
+                # A privileged unit may be invoked synchronously from a
+                # jailed publisher; its own execution is legitimately
+                # unjailed (the paper's $SAFE=0 units).
+                with self._lifted_jail():
+                    callback(event)
+            else:
+                callback(event)
+        if self._chaos_active:
+            self._chaos.hit(f"engine.callback.after:{principal.name}")
+
+    def _run_supervised(
+        self,
+        principal: UnitPrincipal,
+        callback,
+        event: Event,
+        unit_sup: UnitSupervisor,
+        error: Exception,
+    ) -> None:
+        """The supervised delivery ladder: retry → dead-letter → restart.
+
+        Entered from :meth:`_run_callback` with the first attempt's
+        failure already in hand. Exhausts the policy's retry budget
+        (each retry re-enters the LabelContext and jail from scratch via
+        :meth:`_invoke`), then dead-letters the event under its own
+        labels and applies one-for-one restart bookkeeping to the unit.
+        Security violations on a retry are deterministic policy denials:
+        audited, never retried further, never dead-lettered.
+        SimulatedCrash is a BaseException and always propagates —
+        supervision must not survive a "process death".
+        """
+        supervisor = self.supervisor
+        attempts = 1
+        while True:
+            self.stats.bump("callback_errors")
+            self.audit.denied(
+                "engine",
+                "callback",
+                principal.name,
+                labels=event.labels,
+                detail=f"unit error (attempt {attempts}): {error!r}",
+            )
+            if supervisor.retryable(error) and attempts <= supervisor.policy.retry_budget:
+                self.stats.bump("retries")
+                unit_sup.sleep_before_retry(attempts)
+                attempts += 1
+                try:
+                    self._invoke(principal, callback, event)
+                    return
+                except SecurityViolation as violation:
+                    self._audit_security_violation(principal, event, violation)
+                    return
+                except Exception as retry_error:  # noqa: BLE001 - supervised containment
+                    error = retry_error
+                    continue
+            self._dead_letter(principal, event, repr(error), attempts=attempts)
+            self._handle_unit_failure(unit_sup, principal)
+            return
+
+    def _dead_letter(
+        self, principal: UnitPrincipal, event: Event, reason: str, attempts: int
+    ) -> None:
+        dead = self.supervisor.dead_letter(
+            self.broker, self.audit, principal.name, event, reason, attempts
+        )
+        if dead is not None:
+            self.stats.bump("dead_lettered")
+
+    def _handle_unit_failure(self, unit_sup, principal: UnitPrincipal) -> None:
+        decision = unit_sup.note_failure()
+        if decision == RESTART:
+            self.stats.bump("restarts")
+            unit_sup.sleep_before_restart()
+            if self._restart_unit(principal.name):
+                self.audit.allowed(
+                    "supervisor",
+                    "restart",
+                    principal.name,
+                    detail=f"one-for-one restart #{unit_sup.restart_count}",
+                )
+            else:
+                self.audit.denied(
+                    "supervisor",
+                    "restart",
+                    principal.name,
+                    detail="restart failed; unit left as-is",
+                )
+        elif decision == SUSPEND:
+            self.audit.denied(
+                "supervisor",
+                "suspend",
+                principal.name,
+                detail=(
+                    f"exceeded {unit_sup.policy.max_restarts} restarts in "
+                    f"{unit_sup.policy.restart_window}s; deliveries now dead-letter"
+                ),
+            )
+        elif decision == ALREADY_SUSPENDED:  # pragma: no cover - racing failures
+            pass
+
+    def _restart_unit(self, principal_name: str) -> bool:
+        """One-for-one restart: run ``teardown``, register the unit's
+        subscriptions afresh via ``setup``, then drop the old ones.
+        Re-registration rebuilds the jail-isolated callback clones, so a
+        restarted unit starts from the unit instance's current state
+        with fresh subscription wiring. The unit's lane (if any) stays
+        open — queued deliveries continue to the restarted unit in FIFO
+        order.
+
+        The new subscriptions go live *before* the old ones are removed:
+        an event published concurrently with the swap may be delivered
+        through both (at-least-once), but never falls into a window with
+        no matching subscription (silent loss). Unsubscribe-first had
+        exactly that hole under the laned engine.
+        """
+        with self._lock:
+            unit = None
+            for name, services in self._services.items():
+                if services.principal.name == principal_name:
+                    unit = self._units.get(name)
+                    break
+        if unit is None:
+            return False
+        stale = [
+            subscription.subscription_id
+            for subscription in self.broker.subscriptions_for(principal_name)
+        ]
+        try:
+            unit.teardown()
+        except Exception as error:  # noqa: BLE001 - teardown bugs must not block restart
+            self.audit.denied(
+                "engine",
+                "teardown",
+                principal_name,
+                detail=f"teardown error during restart: {error!r}",
+            )
+        try:
+            unit.setup()
+        except Exception as error:  # noqa: BLE001 - restart failure is reported, not raised
+            # The old subscriptions are still live — a unit whose setup
+            # died keeps its previous wiring rather than going deaf.
+            self.audit.denied(
+                "engine",
+                "setup",
+                principal_name,
+                detail=f"setup error during restart: {error!r}",
+            )
+            return False
+        for subscription_id in stale:
+            self.broker.unsubscribe(subscription_id)
+        return True
 
     @contextmanager
     def _lifted_jail(self):

@@ -64,6 +64,10 @@ class EngineStats:
     discarded by the ``"drop"`` backpressure policy, ``callback_errors``
     counts unit exceptions (security violations and plain bugs alike),
     and ``max_lane_depth`` high-watermarks the deepest mailbox seen.
+    Supervised engines (repro.events.supervision) additionally count
+    ``retries`` (failed callback re-invocations), ``restarts``
+    (one-for-one unit restarts) and ``dead_lettered`` (events published
+    to a ``/_dlq.<unit>`` topic); all three stay 0 without supervision.
 
     Counters are bumped from many threads (workers, producers, lanes),
     and both the engine's drain loop and the equivalence tests rely on
@@ -79,6 +83,9 @@ class EngineStats:
         "callback_errors",
         "max_lane_depth",
         "batches",
+        "retries",
+        "restarts",
+        "dead_lettered",
         "_lock",
     )
 
@@ -90,6 +97,9 @@ class EngineStats:
         self.max_lane_depth = 0
         #: Lane activations: one batch = one mailbox drain by a worker.
         self.batches = 0
+        self.retries = 0
+        self.restarts = 0
+        self.dead_lettered = 0
         self._lock = threading.Lock()
 
     def bump(self, counter: str, amount: int = 1) -> None:
@@ -111,6 +121,9 @@ class EngineStats:
                 "callback_errors": self.callback_errors,
                 "max_lane_depth": self.max_lane_depth,
                 "batches": self.batches,
+                "retries": self.retries,
+                "restarts": self.restarts,
+                "dead_lettered": self.dead_lettered,
             }
 
 

@@ -14,6 +14,16 @@ Two threading details mirror Figure 2:
 * **deliveries arrive on the client listener thread**, which then enters
   the jail per callback exactly like local dispatch.
 
+The bridge is a *long-lived link* and treats the connection as
+unreliable (docs/ROBUSTNESS.md): a failed send is audited and retried
+through a reconnect-with-backoff ladder that re-establishes the STOMP
+session and **resubscribes every tracked subscription** before the
+event is sent again; only after ``max_send_attempts`` failures is the
+event parked on :attr:`StompBrokerBridge.dead_letters` (audited) — the
+sender thread itself never dies, and nothing is lost silently. Sends
+are receipt-confirmed so a death of the socket mid-send is detected on
+the sender thread, not swallowed by the listener.
+
 Clearance passed to ``subscribe`` is advisory here: the *server* resolves
 the connection's principal against its own policy, so a buggy or
 compromised engine host cannot claim clearance it does not have.
@@ -23,21 +33,26 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Dict, List, Optional
 
+from repro.core.audit import AuditLog, default_audit_log
 from repro.core.labels import LabelSet
 from repro.core.privileges import PrivilegeSet
 from repro.events.event import Event
 from repro.events.stomp.client import StompClient
+from repro.faults import NULL_FAULTS, ChaosInjector, SimulatedCrash
 
 
 class _BridgeStats:
-    __slots__ = ("published", "delivered", "errors")
+    __slots__ = ("published", "delivered", "errors", "reconnects", "dead_lettered")
 
     def __init__(self):
         self.published = 0
         self.delivered = 0
         self.errors = 0
+        self.reconnects = 0
+        self.dead_lettered = 0
 
 
 class _BridgeSubscription:
@@ -64,20 +79,55 @@ class StompBrokerBridge:
         login: str,
         passcode: str = "",
         tls_context=None,
+        reconnect: bool = True,
+        max_send_attempts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        audit: Optional[AuditLog] = None,
+        chaos: ChaosInjector = NULL_FAULTS,
     ):
-        self._client = StompClient(
-            host, port, login=login, passcode=passcode, tls_context=tls_context
-        )
+        self._host = host
+        self._port = port
         self._login = login
+        self._passcode = passcode
+        self._tls_context = tls_context
+        self._reconnect = reconnect
+        self._max_send_attempts = max(1, max_send_attempts)
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._audit = audit if audit is not None else default_audit_log()
+        self._chaos = chaos
+        self._client = self._new_client()
         self._outgoing: "queue.Queue[Optional[Event]]" = queue.Queue()
         self._sender: Optional[threading.Thread] = None
         self._subscriptions: Dict[str, _BridgeSubscription] = {}
+        #: subscription_id -> kwargs needed to re-issue it on reconnect.
+        self._subscription_specs: Dict[str, dict] = {}
+        #: Events given up on after max_send_attempts (audited, kept for
+        #: inspection/replay — the bridge-level dead-letter parking lot).
+        self.dead_letters: List[Event] = []
         self.stats = _BridgeStats()
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _new_client(self) -> StompClient:
+        return StompClient(
+            self._host,
+            self._port,
+            login=self._login,
+            passcode=self._passcode,
+            tls_context=self._tls_context,
+            chaos=self._chaos,
+        )
+
     def connect(self) -> "StompBrokerBridge":
-        self._client.connect()
+        """Connect (idempotent); a closed bridge reconnects cleanly."""
+        if self._sender is not None:
+            return self
+        if not self._client.connected:
+            self._client = self._new_client()
+            self._chaos.hit("bridge.connect")
+            self._client.connect()
         self._sender = threading.Thread(
             target=self._send_loop, name=f"safeweb-bridge-{self._login}", daemon=True
         )
@@ -85,17 +135,59 @@ class StompBrokerBridge:
         return self
 
     def close(self) -> None:
+        """Stop the sender and disconnect (idempotent).
+
+        Subscription bookkeeping is cleared: a later :meth:`connect`
+        starts a fresh session and callers re-subscribe, exactly like a
+        gateway restart.
+        """
         if self._sender is not None:
             self._outgoing.put(None)
             self._sender.join(5)
             self._sender = None
         self._client.disconnect()
+        self._subscriptions.clear()
+        self._subscription_specs.clear()
 
     def drain(self, timeout: float = 5.0) -> None:
-        """Block until queued publishes have hit the wire."""
+        """Block until queued publishes were sent (or dead-lettered)."""
         done = threading.Event()
         self._outgoing.put(done)  # type: ignore[arg-type]
         done.wait(timeout)
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """True while the link can make progress: connected, sender alive."""
+        return (
+            self._sender is not None
+            and self._sender.is_alive()
+            and self._client.connected
+        )
+
+    def probe(self) -> dict:
+        """Health probe: link state + counters, cheap enough to poll."""
+        return {
+            "connected": self._client.connected,
+            "sender_alive": self._sender is not None and self._sender.is_alive(),
+            "outgoing_depth": self._outgoing.qsize(),
+            "subscriptions": len(self._subscriptions),
+            "published": self.stats.published,
+            "delivered": self.stats.delivered,
+            "errors": self.stats.errors,
+            "reconnects": self.stats.reconnects,
+            "dead_lettered": self.stats.dead_lettered,
+        }
+
+    def ensure_connected(self) -> bool:
+        """Reconnect now if the link is down; True when healthy after."""
+        if self.healthy:
+            return True
+        if self._sender is None:
+            return False  # closed bridges stay closed; connect() restarts
+        self._reestablish()
+        return self.healthy
 
     # -- the Broker surface the engine uses -------------------------------------
 
@@ -110,6 +202,7 @@ class StompBrokerBridge:
         require_integrity: Optional[LabelSet] = None,
     ) -> _BridgeSubscription:
         selector_text = getattr(selector, "text", selector)
+        integrity = require_integrity or LabelSet()
 
         def deliver(event: Event) -> None:
             self.stats.delivered += 1
@@ -120,14 +213,21 @@ class StompBrokerBridge:
             deliver,
             selector=selector_text,
             subscription_id=subscription_id,
-            require_integrity=require_integrity or LabelSet(),
+            require_integrity=integrity,
         )
         subscription = _BridgeSubscription(sub_id, topic, principal)
         self._subscriptions[sub_id] = subscription
+        self._subscription_specs[sub_id] = {
+            "topic": topic,
+            "deliver": deliver,
+            "selector": selector_text,
+            "require_integrity": integrity,
+        }
         return subscription
 
     def unsubscribe(self, subscription_id: str) -> None:
         subscription = self._subscriptions.pop(subscription_id, None)
+        self._subscription_specs.pop(subscription_id, None)
         if subscription is not None:
             subscription.active = False
             self._client.unsubscribe(subscription_id)
@@ -154,12 +254,100 @@ class StompBrokerBridge:
             if isinstance(item, threading.Event):
                 item.set()
                 continue
+            self._send_with_retry(item)
+
+    def _send_with_retry(self, event: Event) -> bool:
+        """Send one event; survive link failures.
+
+        Each failed attempt is audited; between attempts the session is
+        re-established (reconnect + resubscribe) with exponential
+        backoff. After the attempt budget the event is parked on
+        :attr:`dead_letters` with a final audit record — the loop keeps
+        draining either way.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
             try:
+                self._chaos.hit("bridge.send")
                 self._client.send(
-                    item.topic,
-                    attributes=item.attributes,
-                    payload=item.payload or "",
-                    labels=item.labels,
+                    event.topic,
+                    attributes=event.attributes,
+                    payload=event.payload or "",
+                    labels=event.labels,
+                    receipt=True,
                 )
-            except Exception:  # noqa: BLE001 - connection loss must not kill the loop
+                return True
+            except SimulatedCrash:
+                raise
+            except Exception as error:  # noqa: BLE001 - the sender must keep draining
                 self.stats.errors += 1
+                self._audit.denied(
+                    "bridge",
+                    "send",
+                    self._login,
+                    labels=event.labels,
+                    detail=f"send to {event.topic} failed (attempt {attempt}): {error!r}",
+                )
+                if attempt >= self._max_send_attempts or not self._reconnect:
+                    self.stats.dead_lettered += 1
+                    self.dead_letters.append(event)
+                    self._audit.denied(
+                        "bridge",
+                        "dead_letter",
+                        self._login,
+                        labels=event.labels,
+                        detail=(
+                            f"event for {event.topic} parked after "
+                            f"{attempt} attempt(s)"
+                        ),
+                    )
+                    return False
+                self._backoff(attempt)
+                self._reestablish()
+
+    def _backoff(self, attempt: int) -> None:
+        if self._backoff_base <= 0:
+            return
+        time.sleep(min(self._backoff_base * (2 ** (attempt - 1)), self._backoff_max))
+
+    def _reestablish(self) -> None:
+        """Tear down the dead client, connect a fresh one, resubscribe.
+
+        Best-effort: a failure here is audited and left for the next
+        send attempt's backoff round to retry.
+        """
+        try:
+            self._client.disconnect()
+        except Exception:  # noqa: BLE001 - the old session is already dead
+            pass
+        try:
+            self._chaos.hit("bridge.connect")
+            client = self._new_client()
+            client.connect()
+            for sub_id, spec in self._subscription_specs.items():
+                client.subscribe(
+                    spec["topic"],
+                    spec["deliver"],
+                    selector=spec["selector"],
+                    subscription_id=sub_id,
+                    require_integrity=spec["require_integrity"],
+                )
+            self._client = client
+            self.stats.reconnects += 1
+            self._audit.allowed(
+                "bridge",
+                "reconnect",
+                self._login,
+                detail=f"session re-established; {len(self._subscription_specs)} "
+                f"subscription(s) restored",
+            )
+        except SimulatedCrash:
+            raise
+        except Exception as error:  # noqa: BLE001 - retried by the next backoff round
+            self._audit.denied(
+                "bridge",
+                "reconnect",
+                self._login,
+                detail=f"reconnect failed: {error!r}",
+            )

@@ -26,6 +26,7 @@ from repro.events.event import Event
 from repro.events.stomp.frames import Frame, FrameParser, encode_frame
 from repro.events.stomp.server import LABEL_HEADER, RESERVED_HEADERS
 from repro.exceptions import SafeWebError, StompProtocolError
+from repro.faults import NULL_FAULTS, ChaosInjector, InjectedFault
 
 _client_ids = itertools.count(1)
 
@@ -44,6 +45,7 @@ class StompClient:
         passcode: str = "",
         tls_context: Optional[ssl.SSLContext] = None,
         timeout: float = 10.0,
+        chaos: ChaosInjector = NULL_FAULTS,
     ):
         self._host = host
         self._port = port
@@ -51,6 +53,7 @@ class StompClient:
         self._passcode = passcode
         self._tls_context = tls_context
         self._timeout = timeout
+        self._chaos = chaos
         self._sock: Optional[socket.socket] = None
         self._listener: Optional[threading.Thread] = None
         self._callbacks: Dict[str, Callable[[Event], None]] = {}
@@ -65,6 +68,9 @@ class StompClient:
     # -- lifecycle -----------------------------------------------------------
 
     def connect(self) -> "StompClient":
+        # A fresh control queue: a previous session's connection-lost
+        # sentinel must not satisfy this connection's handshake wait.
+        self._control = queue.Queue()
         sock = socket.create_connection((self._host, self._port), timeout=self._timeout)
         if self._tls_context is not None:
             sock = self._tls_context.wrap_socket(sock, server_hostname=self._host)
@@ -200,10 +206,19 @@ class StompClient:
                         self._on_message(frame)
                     else:
                         self._control.put(frame)
-        except OSError:
+        except (OSError, InjectedFault):
+            # Socket death — including a send failure surfaced by
+            # _flush_outgoing (or its chaos point). The finally below
+            # signals the loss; swallowing it here without that signal
+            # was the old silent-death bug: queued frames vanished and
+            # every blocking wait ran to its full timeout.
             return
         finally:
             self._connected.clear()
+            # Fail any blocked _await_control caller fast, and make the
+            # *next* blocking call fail too (sends are fire-and-forget
+            # otherwise): a dead connection must be observable.
+            self._control.put(Frame("ERROR", {"message": "connection lost"}))
 
     def _flush_outgoing(self, sock) -> None:
         while True:
@@ -211,6 +226,7 @@ class StompClient:
                 frame = self._outgoing.get_nowait()
             except queue.Empty:
                 return
+            self._chaos.hit("stomp.client.flush")
             payload = encode_frame(frame)
             sock.settimeout(self._timeout)
             try:

@@ -84,6 +84,19 @@ class WalError(SafeWebError):
     PostgreSQL fsync-panic posture; see ``docs/DURABILITY.md``)."""
 
 
+class CircuitOpenError(SafeWebError):
+    """An operation was rejected fast because its circuit breaker is open.
+
+    Raised instead of attempting a call against a backend that has been
+    failing: the caller sheds load immediately (and, under supervision,
+    dead-letters the event) rather than stalling a lane on a sick
+    dependency. See ``docs/ROBUSTNESS.md``."""
+
+    def __init__(self, message: str, breaker: str = ""):
+        super().__init__(message)
+        self.breaker = breaker
+
+
 class FirewallError(SafeWebError):
     """A connection was attempted against the permitted zone direction."""
 

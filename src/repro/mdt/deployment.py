@@ -118,6 +118,8 @@ class MdtDeployment:
         parallel_engine: int = 0,
         mailbox_capacity: int = 1024,
         backpressure: str = "block",
+        supervision=None,
+        storage_breaker=None,
         data_dir: Optional[str] = None,
         fsync_batch: int = DEFAULT_FSYNC_BATCH,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
@@ -151,15 +153,22 @@ class MdtDeployment:
         # only exist in synchronous mode. Pipeline drivers drain the
         # lanes between stages, so the stage ordering contract holds in
         # both modes.
+        # ``supervision`` (a repro.events.supervision.SupervisionPolicy)
+        # arms the retry / dead-letter / restart ladder around every unit
+        # callback; ``storage_breaker`` (a CircuitBreaker) guards the
+        # data_storage unit's writes. Both default off — the benchmarks
+        # pin the unsupervised cost shape — and with no faults occurring
+        # a supervised pipeline produces identical results.
         self.engine = EventProcessingEngine(
             broker=self.broker,
             policy=self.workload.policy,
             audit=self.audit,
             isolation=isolation,
-            raise_callback_errors=not parallel_engine,
+            raise_callback_errors=not parallel_engine and supervision is None,
             workers=parallel_engine,
             mailbox_capacity=mailbox_capacity,
             backpressure=backpressure,
+            supervision=supervision,
         )
         # ``shards > 1`` hash-partitions both application databases; the
         # API (and every enforcement decision) is identical either way.
@@ -179,7 +188,7 @@ class MdtDeployment:
         self.producer = DataProducer(self.main_db, label_events=label_events)
         aggregator_cls = BuggyDataAggregator if aggregator_vulnerability else DataAggregator
         self.aggregator = aggregator_cls()
-        self.storage = DataStorage(self.app_db)
+        self.storage = DataStorage(self.app_db, breaker=storage_breaker)
         self.engine.register(self.producer)
         self.engine.register(self.aggregator)
         self.engine.register(self.storage)

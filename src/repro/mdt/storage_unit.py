@@ -18,8 +18,11 @@ Relabelling (the §3.1 aggregate pattern) happens here and only here:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.labels import LabelSet
 from repro.events.event import Event
+from repro.events.supervision import CircuitBreaker
 from repro.events.unit import Unit
 from repro.exceptions import DeclassificationError
 from repro.mdt.labels import mdt_aggregate_label, region_aggregate_label
@@ -43,13 +46,22 @@ SENSITIVE_RECORD_FIELDS = (
 
 
 class DataStorage(Unit):
-    """Persists labelled results into the application database."""
+    """Persists labelled results into the application database.
+
+    An optional :class:`~repro.events.supervision.CircuitBreaker` guards
+    every write: when the backend keeps failing the breaker opens and
+    writes are rejected fast with
+    :class:`~repro.exceptions.CircuitOpenError` instead of stalling the
+    unit's lane — under a supervised engine those events dead-letter
+    (with labels intact) rather than piling up behind a sick database.
+    """
 
     unit_name = "data_storage"
 
-    def __init__(self, app_db: DocumentDatabase):
+    def __init__(self, app_db: DocumentDatabase, breaker: Optional[CircuitBreaker] = None):
         super().__init__()
         self._app_db = app_db
+        self._breaker = breaker
         self.documents_written = 0
 
     def setup(self) -> None:
@@ -136,7 +148,10 @@ class DataStorage(Unit):
     def _upsert(self, document: dict) -> None:
         # The store adopts the current revision under its own lock, so
         # the seed's get-then-put conflict retry is no longer needed.
-        self._app_db.upsert(document)
+        if self._breaker is not None:
+            self._breaker.call(self._app_db.upsert, document)
+        else:
+            self._app_db.upsert(document)
         self.documents_written += 1
 
 

@@ -69,6 +69,10 @@ class Model:
     #: Attribute names to index; each generates a ``by_<name>`` finder.
     view_by: ClassVar[Tuple[str, ...]] = ()
     _database: ClassVar[Optional[DocumentDatabase]] = None
+    #: Optional circuit breaker guarding every database call the model
+    #: issues (repro.events.supervision.CircuitBreaker); bound per model
+    #: class via ``use(db, breaker=...)``.
+    _breaker: ClassVar[Optional[object]] = None
 
     def __init__(self, attributes: Optional[Dict[str, Any]] = None, **kwargs):
         merged = dict(attributes or {})
@@ -80,13 +84,22 @@ class Model:
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
         cls._database = None
+        cls._breaker = None
         for attribute in cls.view_by:
             setattr(cls, f"by_{attribute}", _make_finder(cls, attribute))
 
     @classmethod
-    def use(cls, database: DocumentDatabase) -> None:
-        """Bind the model to a database (plain or sharded) and define its views."""
+    def use(cls, database: DocumentDatabase, breaker=None) -> None:
+        """Bind the model to a database (plain or sharded) and define its views.
+
+        *breaker* (a :class:`~repro.events.supervision.CircuitBreaker`)
+        guards every subsequent persistence call the model makes: a
+        failing backend trips it open and calls are rejected fast with
+        :class:`~repro.exceptions.CircuitOpenError` until the breaker's
+        reset timeout lets a probe through.
+        """
         cls._database = database
+        cls._breaker = breaker
         for attribute in cls.view_by:
             database.define_view(cls._view_name(attribute), _make_map(attribute))
         # A recovered database already holds generated ids; keep the
@@ -104,6 +117,13 @@ class Model:
         if cls._database is None:
             raise SafeWebError(f"model {cls.__name__} is not bound; call {cls.__name__}.use(db)")
         return cls._database
+
+    @classmethod
+    def _db_call(cls, operation, *args, **kwargs):
+        """Issue one database call, through the breaker when bound."""
+        if cls._breaker is None:
+            return operation(*args, **kwargs)
+        return cls._breaker.call(operation, *args, **kwargs)
 
     @classmethod
     def _view_name(cls, attribute: str) -> str:
@@ -151,34 +171,36 @@ class Model:
     # -- persistence --------------------------------------------------------------
 
     def save(self) -> "Model":
-        database = type(self).database()
+        cls = type(self)
+        database = cls.database()
         if "_id" not in self._attributes:
             self._attributes["_id"] = (
-                f"{type(self).__name__.lower()}-{_doc_ids.allocate()}"
+                f"{cls.__name__.lower()}-{_doc_ids.allocate()}"
             )
-        outcome = database.put(self._attributes)
+        outcome = cls._db_call(database.put, self._attributes)
         self._attributes["_rev"] = outcome["rev"]
         return self
 
     def destroy(self) -> None:
-        database = type(self).database()
+        cls = type(self)
+        database = cls.database()
         if self.doc_id is None or self.rev is None:
             raise SafeWebError("cannot destroy an unsaved model")
-        database.delete(self.doc_id, self.rev)
+        cls._db_call(database.delete, self.doc_id, self.rev)
 
     @classmethod
     def find(cls, doc_id: str) -> "Model":
-        return cls(cls.database().get(doc_id))
+        return cls(cls._db_call(cls.database().get, doc_id))
 
     @classmethod
     def find_or_none(cls, doc_id: str) -> Optional["Model"]:
-        document = cls.database().get_or_none(doc_id)
+        document = cls._db_call(cls.database().get_or_none, doc_id)
         return None if document is None else cls(document)
 
     @classmethod
     def all(cls) -> List["Model"]:
         """Every live document, in stable insertion (sequence) order."""
-        return [cls(document) for document in cls.database().all_docs()]
+        return [cls(document) for document in cls._db_call(cls.database().all_docs)]
 
     @classmethod
     def count(cls) -> int:
@@ -198,7 +220,8 @@ def _make_finder(cls, attribute: str):
     def finder(
         model_cls, key: Any = None, clearance: Optional[LabelSet] = None
     ) -> List[Model]:
-        rows = model_cls.database().view(
+        rows = model_cls._db_call(
+            model_cls.database().view,
             model_cls._view_name(attribute),
             key=key,
             include_docs=True,

@@ -33,22 +33,28 @@ How it composes:
 :class:`SimulatedCrash` subclasses :class:`BaseException` on purpose:
 generic ``except Exception`` containment (the continuous replicator's
 retry loop, view indexing) must never swallow a simulated crash.
+
+The point/arming machinery is shared with the event tier: this module's
+:class:`FaultInjector` extends :class:`repro.faults.ChaosInjector` with
+the durability-specific fault shapes (fsync failures, torn appends, the
+tracked-file power-loss model); :class:`SimulatedCrash` itself lives in
+:mod:`repro.faults` and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
 import os
-import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.faults import ChaosInjector, SimulatedCrash
 
-class SimulatedCrash(BaseException):
-    """The process died at a named crash point. Not an ``Exception``:
-    nothing in the middleware may catch and survive it."""
-
-    def __init__(self, point: str):
-        super().__init__(f"simulated crash at {point!r}")
-        self.point = point
+__all__ = [
+    "SimulatedCrash",
+    "TrackedFile",
+    "FaultInjector",
+    "NULL_FAULTS",
+    "CRASH_POINTS",
+]
 
 
 class TrackedFile:
@@ -116,37 +122,27 @@ class TrackedFile:
         return self._file.closed
 
 
-class FaultInjector:
+class FaultInjector(ChaosInjector):
     """Armable crash points, fsync failures and torn appends.
 
     One injector instruments one store (all its shards and checkpoint
     files). Points are hit in deterministic order because every write
     path is either single-threaded in the tests or serialised by the
-    shard lock.
+    shard lock. Crash-point arming and the ``hit``/``hits``/
+    ``crashed_at`` surface are inherited from
+    :class:`repro.faults.ChaosInjector`.
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
-        #: point -> remaining arrivals before the crash fires.
-        self._crash_points: Dict[str, int] = {}
+        super().__init__()
         self._fsync_failures = 0
         self._torn_keep: Optional[int] = None
         #: path -> live TrackedFile
         self._open_files: Dict[str, TrackedFile] = {}
         #: path -> (durable, written) for every file ever tracked.
         self._ledger: Dict[str, Tuple[int, int]] = {}
-        self.crashed_at: Optional[str] = None
-        self.hits: List[str] = []
 
     # -- arming ----------------------------------------------------------------
-
-    def crash_at(self, point: str, hit: int = 1) -> "FaultInjector":
-        """Crash on the *hit*-th arrival at *point* (1 = next arrival)."""
-        if hit < 1:
-            raise ValueError("hit counts from 1")
-        with self._lock:
-            self._crash_points[point] = hit
-        return self
 
     def fail_fsync(self, times: int = 1) -> "FaultInjector":
         """Make the next *times* fsync attempts raise ``OSError``."""
@@ -163,19 +159,6 @@ class FaultInjector:
         return self
 
     # -- instrumentation callbacks ------------------------------------------------
-
-    def hit(self, point: str) -> None:
-        with self._lock:
-            self.hits.append(point)
-            remaining = self._crash_points.get(point)
-            if remaining is None:
-                return
-            if remaining > 1:
-                self._crash_points[point] = remaining - 1
-                return
-            del self._crash_points[point]
-            self.crashed_at = point
-        raise SimulatedCrash(point)
 
     def take_torn_keep(self, frame_length: int) -> Optional[int]:
         """Bytes of the next frame to write before crashing, if armed."""
@@ -262,6 +245,12 @@ class _NullInjector(FaultInjector):
     programming error."""
 
     def crash_at(self, point: str, hit: int = 1) -> "FaultInjector":  # pragma: no cover
+        raise RuntimeError("arm a dedicated FaultInjector, not NULL_FAULTS")
+
+    def fail_at(self, point, on=1, error=None):  # pragma: no cover
+        raise RuntimeError("arm a dedicated FaultInjector, not NULL_FAULTS")
+
+    def delay_at(self, point, seconds, on=1):  # pragma: no cover
         raise RuntimeError("arm a dedicated FaultInjector, not NULL_FAULTS")
 
     def fail_fsync(self, times: int = 1) -> "FaultInjector":  # pragma: no cover

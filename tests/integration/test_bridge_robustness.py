@@ -1,0 +1,202 @@
+"""Robustness of the STOMP bridge's send loop (docs/ROBUSTNESS.md).
+
+Seed regression: an ``OSError`` during a send used to kill the bridge's
+sender thread (and the client listener that performs the actual socket
+I/O) *silently* — every later publish queued forever and no event was
+delivered again. The bridge now detects the failure on the sender
+thread (sends are receipt-confirmed), audits it, and walks a
+reconnect-with-backoff ladder that resubscribes and resends; after the
+attempt budget the event is parked on ``dead_letters`` (audited) and
+the loop keeps draining.
+"""
+
+import time
+
+import pytest
+
+from repro.core.audit import AuditLog
+from repro.core.policy import parse_policy
+from repro.events import Broker
+from repro.events.event import Event
+from repro.events.stomp import StompServer
+from repro.events.stomp.bridge import StompBrokerBridge
+from repro.faults import ChaosInjector
+
+POLICY = parse_policy(
+    """
+    authority ecric.org.uk
+
+    unit sender {
+    }
+
+    unit watcher {
+    }
+    """
+)
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def decisions(audit: AuditLog):
+    return [
+        (record.component, record.operation, record.decision)
+        for record in audit.records()
+    ]
+
+
+@pytest.fixture()
+def server():
+    broker = Broker(threaded=True)
+    stomp = StompServer(broker, policy=POLICY).start()
+    yield stomp
+    stomp.stop()
+    broker.stop()
+
+
+def bridge_for(server, login, **kwargs) -> StompBrokerBridge:
+    host, port = server.address
+    return StompBrokerBridge(host, port, login=login, **kwargs).connect()
+
+
+class TestSendLoopSurvivesSocketDeath:
+    def test_socket_death_mid_stream_reconnects_and_delivers(self, server):
+        """The seed-failing case: a socket error between two sends."""
+        audit = AuditLog()
+        sender = bridge_for(server, "sender", audit=audit, backoff_base=0.01)
+        watcher = bridge_for(server, "watcher")
+        seen = []
+        watcher.subscribe("/t", seen.append, principal="watcher")
+        try:
+            sender.publish(Event("/t", {}, payload="one"))
+            sender.drain()
+            assert wait_for(lambda: [e.payload for e in seen] == ["one"])
+
+            # Yank the socket out from under the established session.
+            sender._client._sock.close()
+
+            sender.publish(Event("/t", {}, payload="two"))
+            sender.publish(Event("/t", {}, payload="three"))
+            sender.drain(10)
+            assert wait_for(
+                lambda: [e.payload for e in seen] == ["one", "two", "three"], 10
+            ), f"lost events; saw {[e.payload for e in seen]}"
+            assert sender.stats.reconnects >= 1
+            assert sender.stats.dead_lettered == 0
+            assert sender.healthy
+            audited = decisions(audit)
+            assert ("bridge", "send", "denied") in audited
+            assert ("bridge", "reconnect", "allowed") in audited
+        finally:
+            sender.close()
+            watcher.close()
+
+    def test_injected_flush_fault_recovers(self, server):
+        """A socket error injected inside the client's frame flush: the
+        listener dies, the receipt wait fails fast on the sender thread,
+        and the reconnect ladder resends the event."""
+        chaos = ChaosInjector()
+        # Flush arrivals on the sender's clients: 1 = CONNECT, 2 = first
+        # SEND, 3 = second SEND (faulted), 4 = reconnect CONNECT, ...
+        chaos.fail_at("stomp.client.flush", on=3, error=OSError("injected"))
+        audit = AuditLog()
+        sender = bridge_for(server, "sender", audit=audit, chaos=chaos, backoff_base=0.01)
+        watcher = bridge_for(server, "watcher")
+        seen = []
+        watcher.subscribe("/t", seen.append, principal="watcher")
+        try:
+            sender.publish(Event("/t", {}, payload="one"))
+            sender.publish(Event("/t", {}, payload="two"))
+            sender.drain(10)
+            assert wait_for(lambda: [e.payload for e in seen] == ["one", "two"], 10)
+            assert sender.stats.reconnects == 1
+            assert chaos.arrivals("stomp.client.flush") >= 4
+        finally:
+            sender.close()
+            watcher.close()
+
+
+class TestDeadLetterParking:
+    def test_exhausted_attempts_park_event_and_keep_draining(self, server):
+        chaos = ChaosInjector()
+        chaos.fail_at("bridge.send", on=(1, 2, 3))
+        audit = AuditLog()
+        sender = bridge_for(
+            server,
+            "sender",
+            audit=audit,
+            chaos=chaos,
+            max_send_attempts=3,
+            backoff_base=0.0,
+        )
+        watcher = bridge_for(server, "watcher")
+        seen = []
+        watcher.subscribe("/t", seen.append, principal="watcher")
+        try:
+            sender.publish(Event("/t", {}, payload="doomed"))
+            sender.publish(Event("/t", {}, payload="fine"))
+            sender.drain(10)
+            # The first event burned all three attempts and parked; the
+            # second sailed through on the same (still alive) loop.
+            assert wait_for(lambda: [e.payload for e in seen] == ["fine"], 10)
+            assert [e.payload for e in sender.dead_letters] == ["doomed"]
+            assert sender.stats.dead_lettered == 1
+            assert ("bridge", "dead_letter", "denied") in decisions(audit)
+            assert sender.healthy
+        finally:
+            sender.close()
+            watcher.close()
+
+    def test_reconnect_disabled_parks_after_first_failure(self, server):
+        chaos = ChaosInjector()
+        chaos.fail_at("bridge.send", on=1)
+        sender = bridge_for(server, "sender", chaos=chaos, reconnect=False)
+        try:
+            sender.publish(Event("/t", {}, payload="doomed"))
+            sender.drain()
+            assert wait_for(lambda: sender.stats.dead_lettered == 1)
+            assert sender.stats.reconnects == 0
+        finally:
+            sender.close()
+
+
+class TestHealthProbes:
+    def test_probe_reports_link_state(self, server):
+        sender = bridge_for(server, "sender")
+        try:
+            report = sender.probe()
+            assert report["connected"] and report["sender_alive"]
+            assert report["reconnects"] == 0
+        finally:
+            sender.close()
+        assert not sender.healthy
+        assert sender.probe()["sender_alive"] is False
+
+    def test_ensure_connected_resubscribes_after_socket_death(self, server):
+        watcher = bridge_for(server, "watcher", backoff_base=0.01)
+        sender = bridge_for(server, "sender")
+        seen = []
+        watcher.subscribe("/t", seen.append, principal="watcher")
+        try:
+            watcher._client._sock.close()
+            assert wait_for(lambda: not watcher.healthy)
+            assert watcher.ensure_connected()
+            assert watcher.stats.reconnects == 1
+            # The restored subscription still delivers.
+            sender.publish(Event("/t", {}, payload="after"))
+            sender.drain()
+            assert wait_for(lambda: [e.payload for e in seen] == ["after"])
+        finally:
+            sender.close()
+            watcher.close()
+
+    def test_ensure_connected_on_closed_bridge_is_refused(self, server):
+        sender = bridge_for(server, "sender")
+        sender.close()
+        assert sender.ensure_connected() is False

@@ -506,6 +506,9 @@ class TestParallelEngine:
             "callback_errors",
             "max_lane_depth",
             "batches",
+            "retries",
+            "restarts",
+            "dead_lettered",
         }
         engine.stop()
 
