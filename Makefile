@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: help test test-unit bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench-supervision bench docs-check
+.PHONY: help test test-unit test-security bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench-supervision bench docs-check
 
 ## Show every target with its description.
 help:
@@ -14,6 +14,10 @@ test: docs-check
 ## Fast feedback: unit and property tests only.
 test-unit:
 	$(PYTHON) -m pytest tests/unit tests/property -q
+
+## The adversarial vulnerability corpus (both-direction security matrix).
+test-security:
+	$(PYTHON) -m pytest tests/security -q
 
 ## Quick benchmark smoke: the broker ablation and throughput experiments.
 bench-smoke:

@@ -107,6 +107,8 @@ class MdtDeployment:
         aggregator_vulnerability: bool = False,
         portal_vulnerability: Optional[str] = None,
         check_labels: bool = True,
+        check_taint: bool = True,
+        csrf_protect: bool = True,
         isolation: bool = True,
         label_checks_in_broker: bool = True,
         label_events: bool = True,
@@ -237,6 +239,7 @@ class MdtDeployment:
             audit=self.audit,
             vulnerability=portal_vulnerability,
             check_labels=check_labels,
+            check_taint=check_taint,
             compiled_router=compiled_router,
             cached_auth=cached_auth,
             page_cache=page_cache,
@@ -246,7 +249,12 @@ class MdtDeployment:
                 if sessions
                 else None
             ),
+            csrf_protect=csrf_protect,
         )
+        #: Scratch space for the §5.2 corpus harness: injection patches
+        #: stash their artefacts (observer sinks, side-channel handles)
+        #: here so attacks and oracles can reach them.
+        self.corpus_state: dict = {}
 
     # -- pipeline drivers ---------------------------------------------------------
 

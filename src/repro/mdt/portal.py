@@ -106,6 +106,7 @@ def build_portal(
     page_cache: bool = True,
     sessions: bool = True,
     session_db=None,
+    csrf_protect: bool = True,
 ) -> Tuple[SafeWebApp, SafeWebMiddleware]:
     """Assemble the portal app with the SafeWeb middleware installed.
 
@@ -137,7 +138,11 @@ def build_portal(
     if sessions:
         session_store = DocStoreSessionStore(database=session_db)
         session_middleware = SessionMiddleware(
-            webdb, middleware, audit=audit, session_store=session_store
+            webdb,
+            middleware,
+            audit=audit,
+            session_store=session_store,
+            csrf_protect=csrf_protect,
         )
         # Sessions first: a valid cookie authenticates before the Basic
         # auth hook runs, and CSRF guards every state-changing portal

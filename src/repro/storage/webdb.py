@@ -50,6 +50,10 @@ CREATE TABLE IF NOT EXISTS sessions (
     u_id INTEGER NOT NULL REFERENCES users(id),
     created_at REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS config (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
 
 
@@ -314,3 +318,39 @@ class WebDatabase:
         with self._lock:
             row = self._connection.execute("SELECT COUNT(*) AS n FROM sessions").fetchone()
         return row["n"]
+
+    # -- deployment configuration -------------------------------------------
+
+    def config_get(self, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM config WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else row["value"]
+
+    def config_set(self, key: str, value: str) -> None:
+        with self._lock:
+            self._connection.execute(
+                "INSERT INTO config (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+            self._connection.commit()
+
+    def config_setdefault(self, key: str, value: str) -> str:
+        """Persist *value* under *key* unless one exists; return the winner.
+
+        Deployment-scoped secrets (the CSRF signing key) go through this
+        so a replica opening the same database file adopts the original
+        deployment's secret instead of minting its own.
+        """
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR IGNORE INTO config (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+            self._connection.commit()
+            row = self._connection.execute(
+                "SELECT value FROM config WHERE key = ?", (key,)
+            ).fetchone()
+        return row["value"]

@@ -100,8 +100,10 @@ class SafeWebMiddleware:
     # -- the after hook (Figure 3, step 4) -----------------------------------------
 
     def check_response(self, request: Request, response: Response) -> Optional[Response]:
-        if request.path in self._public_paths:
-            return None
+        # Public paths skip *authentication*, never the response checks:
+        # a route marked public by mistake (the "missing after-hook"
+        # corpus injection) must still be unable to emit labelled data —
+        # with no principal attached, any confidentiality label denies.
         started = time.perf_counter()
         try:
             if self.check_labels:

@@ -48,10 +48,32 @@ def parse_cookies(header: Optional[str]) -> dict:
     return cookies
 
 
-def csrf_token_for(session_token: str) -> str:
-    """Derive the CSRF token from the session (double-submit pattern)."""
-    digest = hmac.new(b"safeweb-csrf", session_token.encode(), "sha256")
+#: Web-database config key the deployment's CSRF signing key persists
+#: under (hex-encoded), so replicas sharing the database validate each
+#: other's tokens while distinct deployments never do.
+CSRF_KEY_CONFIG = "csrf_signing_key"
+
+
+def csrf_token_for(session_token: str, key: bytes) -> str:
+    """Derive the CSRF token from the session (double-submit pattern).
+
+    *key* is the deployment's random signing key — never a constant: a
+    key shared across deployments would let a token minted on any
+    instance forge state-changing requests on every other.
+    """
+    digest = hmac.new(key, session_token.encode(), "sha256")
     return digest.hexdigest()
+
+
+def _resolve_csrf_key(webdb, csrf_key: Optional[bytes]) -> bytes:
+    """Constructor-injected key, else the webdb-persisted one, else fresh."""
+    if csrf_key is not None:
+        return csrf_key
+    generated = secrets.token_bytes(32)
+    setdefault = getattr(webdb, "config_setdefault", None)
+    if setdefault is None:
+        return generated
+    return bytes.fromhex(setdefault(CSRF_KEY_CONFIG, generated.hex()))
 
 
 class DocStoreSessionStore:
@@ -131,9 +153,13 @@ class SessionMiddleware:
         session_max_age: float = 3600.0,
         csrf_protect: bool = True,
         session_store=None,
+        csrf_key: Optional[bytes] = None,
     ):
         self._webdb = webdb
         self._safeweb = safeweb
+        #: Per-deployment CSRF signing key; persisted in the web database
+        #: so replicas agree, injected explicitly for exotic stores.
+        self.csrf_key = _resolve_csrf_key(webdb, csrf_key)
         #: Where session tokens live: the web database by default, or a
         #: :class:`DocStoreSessionStore` for sharded session state.
         self._sessions = session_store if session_store is not None else webdb
@@ -161,7 +187,7 @@ class SessionMiddleware:
             token = self._sessions.create_session(user_id)
             self._audit.allowed("frontend", "login", username)
             response = Response(
-                csrf_token_for(token),
+                csrf_token_for(token, self.csrf_key),
                 status=201,
                 content_type="text/plain",
             )
@@ -207,7 +233,7 @@ class SessionMiddleware:
             request.params.get(CSRF_FIELD, "")
         )
         if not presented or not hmac.compare_digest(
-            str(presented), csrf_token_for(token)
+            str(presented), csrf_token_for(token, self.csrf_key)
         ):
             principal = request.user.name if request.user else "?"
             self._audit.denied(

@@ -1,0 +1,22 @@
+"""Shared fixtures for the adversarial vulnerability corpus suite."""
+
+import pytest
+
+from repro.mdt.workload import WorkloadConfig, generate_workload
+
+#: Small but adversarially sufficient: two regions × two MDTs puts a
+#: same-hospital peer (MDT 2) and a foreign-region victim (MDT 3) on the
+#: board for every entry, with few enough patients that the suite builds
+#: ~100 deployments in seconds.
+CONFIG = WorkloadConfig(num_regions=2, mdts_per_region=2, patients_per_mdt=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """One seeded workload shared by every deployment the suite builds.
+
+    The main database and policy are read-only to deployments; mutable
+    state (web database, docstores, engine) is per-deployment, so
+    sharing is safe and saves rebuilding the workload ~100 times.
+    """
+    return generate_workload(CONFIG)

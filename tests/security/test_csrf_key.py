@@ -1,0 +1,87 @@
+"""Regression: the CSRF signing key is per-deployment, never shared.
+
+The seed derived CSRF tokens from a hardcoded HMAC key, so a token
+minted on any SafeWeb instance validated on every other — one public
+demo deployment would hand out forgeries for production. The key is now
+random per deployment and persisted in the web database so replicas
+(sharing the database) agree while distinct deployments never do.
+"""
+
+import hmac
+
+from repro.mdt.deployment import MdtDeployment
+from repro.web.sessions import SESSION_COOKIE, parse_cookies
+
+_FORM = {"Content-Type": "application/x-www-form-urlencoded"}
+
+
+def _login(deployment, username):
+    client = deployment.anonymous_client()
+    password = deployment.password_of(username)
+    result = client.post(
+        "/login", headers=_FORM, body=f"username={username}&password={password}"
+    )
+    assert result.status == 201
+    token = parse_cookies(result.headers["Set-Cookie"])[SESSION_COOKIE]
+    return client, token, result.text  # (client, session token, csrf token)
+
+
+def _post_feedback(client, token, csrf):
+    return client.post(
+        "/feedback",
+        headers={
+            "Cookie": f"{SESSION_COOKIE}={token}",
+            "x-csrf-token": csrf,
+            **_FORM,
+        },
+        body="message=hello",
+    )
+
+
+def test_keys_differ_between_deployments(workload):
+    first = MdtDeployment(workload=workload)
+    second = MdtDeployment(workload=workload)
+    assert (
+        first.portal.session_middleware.csrf_key
+        != second.portal.session_middleware.csrf_key
+    )
+
+
+def test_tokens_do_not_cross_deployments(workload):
+    # Two deployments of the same workload: a CSRF token derived under
+    # deployment A's key must not validate a request on deployment B,
+    # even for the same session token value.
+    first = MdtDeployment(workload=workload)
+    second = MdtDeployment(workload=workload)
+    _client, token, _csrf = _login(first, "mdt1")
+    foreign_key = second.portal.session_middleware.csrf_key
+    forged = hmac.new(foreign_key, token.encode(), "sha256").hexdigest()
+    client = first.anonymous_client()
+    assert _post_feedback(client, token, forged).status == 403
+
+
+def test_hardcoded_seed_key_tokens_rejected(workload):
+    # The exact forgery the hardcoded key enabled.
+    deployment = MdtDeployment(workload=workload)
+    client, token, real_csrf = _login(deployment, "mdt1")
+    forged = hmac.new(b"safeweb-csrf", token.encode(), "sha256").hexdigest()
+    assert _post_feedback(client, token, forged).status == 403
+    assert deployment.audit.count(
+        component="frontend", operation="csrf", decision="denied"
+    ) >= 1
+    # The genuine token still works.
+    assert _post_feedback(client, token, real_csrf).status == 202
+
+
+def test_key_persists_for_replicas(workload, tmp_path):
+    # A deployment reopened over the same durable web database (a
+    # replica / restart) must adopt the persisted key.
+    data_dir = str(tmp_path / "deploy")
+    first = MdtDeployment(workload=workload, data_dir=data_dir)
+    key = first.portal.session_middleware.csrf_key
+    first.close()
+    replica = MdtDeployment(workload=workload, data_dir=data_dir)
+    try:
+        assert replica.portal.session_middleware.csrf_key == key
+    finally:
+        replica.close()

@@ -1,0 +1,144 @@
+"""Property tests: the sanitizers neutralise generated attack payloads.
+
+``html_escape`` and ``sql_quote`` are the corpus' last line of defence
+for the XSS and SQL-injection entries; these properties pin their
+contract against *generated* payloads, not just the canned ones:
+
+* the output is inert at its sink (no live HTML metacharacters; SQLite
+  round-trips the quoted literal to the original string);
+* the transformation is lossless (unescaping recovers the input);
+* security labels are preserved — escaping defeats injection, not the
+  disclosure check;
+* the user taint is cleared, so the sanitised value passes the
+  response-time taint check.
+"""
+
+import html as html_module
+import re
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import conf_label
+from repro.taint.sanitize import html_escape, mark_user_input, sql_quote
+from repro.taint.labeled import is_user_tainted, labels_of
+from repro.taint.string import LabeledStr
+
+MDT_3 = conf_label("ecric.org.uk", "mdt", "3")
+
+#: Fragments an attacker actually assembles payloads from, mixed with
+#: arbitrary text so the properties cover the benign space too.
+_XSS_FRAGMENTS = st.sampled_from(
+    [
+        "<script>alert(1)</script>",
+        "<img src=x onerror=alert(1)>",
+        "\" onmouseover=\"alert(1)",
+        "'><svg/onload=alert(1)>",
+        "javascript:alert(1)",
+        "&lt;fake-entity&gt;",
+    ]
+)
+_SQLI_FRAGMENTS = st.sampled_from(
+    [
+        "' OR '1'='1",
+        "'; DROP TABLE users; --",
+        "\" OR \"\"=\"",
+        "admin'--",
+        "' UNION SELECT name FROM users --",
+    ]
+)
+#: NUL is unrepresentable in SQL text — sqlite3 refuses the whole query
+#: (a loud ProgrammingError, pinned below), so the round-trip properties
+#: generate over everything else.
+_TEXT = st.text(max_size=40).filter(lambda s: "\x00" not in s)
+
+
+def _payloads(fragments):
+    return st.one_of(
+        _TEXT,
+        fragments,
+        st.tuples(_TEXT, fragments, _TEXT).map("".join),
+    )
+
+
+def _tainted(value: str) -> LabeledStr:
+    return mark_user_input(LabeledStr(value, labels=[MDT_3]))
+
+
+class TestHtmlEscape:
+    @given(payload=_payloads(_XSS_FRAGMENTS))
+    @settings(max_examples=150, deadline=None)
+    def test_output_is_inert(self, payload):
+        escaped = html_escape(_tainted(payload))
+        assert "<" not in escaped and ">" not in escaped
+        assert '"' not in escaped and "'" not in escaped
+        # Any remaining & is ours: the start of a well-formed entity.
+        for match in re.finditer("&", escaped):
+            assert re.match(
+                r"&(amp|lt|gt|quot|#39);", str(escaped[match.start():])
+            ), f"stray & in {escaped!r}"
+
+    @given(payload=_payloads(_XSS_FRAGMENTS))
+    @settings(max_examples=150, deadline=None)
+    def test_lossless(self, payload):
+        assert html_module.unescape(str(html_escape(_tainted(payload)))) == payload
+
+    @given(payload=_payloads(_XSS_FRAGMENTS))
+    @settings(max_examples=100, deadline=None)
+    def test_labels_preserved_taint_cleared(self, payload):
+        escaped = html_escape(_tainted(payload))
+        assert MDT_3 in labels_of(escaped)
+        assert not is_user_tainted(escaped)
+
+
+class TestSqlQuote:
+    @given(payload=_payloads(_SQLI_FRAGMENTS))
+    @settings(max_examples=150, deadline=None)
+    def test_round_trips_through_sqlite(self, payload):
+        # The decisive inertness check: SQLite evaluates the quoted
+        # literal back to exactly the attacker's string — it never
+        # terminates the literal or reaches the grammar.
+        quoted = sql_quote(_tainted(payload))
+        connection = sqlite3.connect(":memory:")
+        try:
+            value = connection.execute("SELECT " + str(quoted)).fetchone()[0]
+        finally:
+            connection.close()
+        assert value == payload
+
+    @given(payload=_payloads(_SQLI_FRAGMENTS))
+    @settings(max_examples=150, deadline=None)
+    def test_single_statement_only(self, payload):
+        # The quoted literal embedded in a real query shape stays one
+        # statement: a second statement (e.g. DROP TABLE) would make
+        # sqlite3's single-statement execute() raise.
+        quoted = sql_quote(_tainted(payload))
+        connection = sqlite3.connect(":memory:")
+        try:
+            connection.execute("CREATE TABLE users (name TEXT)")
+            rows = connection.execute(
+                "SELECT name FROM users WHERE name = " + str(quoted)
+            ).fetchall()
+        finally:
+            connection.close()
+        assert rows == []
+
+    @given(payload=_payloads(_SQLI_FRAGMENTS))
+    @settings(max_examples=100, deadline=None)
+    def test_labels_preserved_taint_cleared(self, payload):
+        quoted = sql_quote(_tainted(payload))
+        assert MDT_3 in labels_of(quoted)
+        assert not is_user_tainted(quoted)
+
+    def test_nul_payload_fails_safe(self):
+        # NUL cannot appear in SQL text: the driver rejects the whole
+        # query rather than executing something surprising.
+        quoted = sql_quote(_tainted("evil\x00payload"))
+        connection = sqlite3.connect(":memory:")
+        try:
+            with pytest.raises(sqlite3.ProgrammingError):
+                connection.execute("SELECT " + str(quoted))
+        finally:
+            connection.close()

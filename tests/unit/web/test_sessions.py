@@ -49,6 +49,7 @@ def app(webdb, request):
     sessions = SessionMiddleware(webdb, safeweb, audit=audit, session_store=store)
     sessions.install(application)  # session resolution first
     safeweb.install(application)
+    application.session_middleware = sessions
 
     @application.get("/whoami")
     def whoami(request):
@@ -90,7 +91,23 @@ class TestLogin:
         client = TestClient(app)
         token, csrf = login(client)
         assert token
-        assert csrf == csrf_token_for(token)
+        assert csrf == csrf_token_for(token, app.session_middleware.csrf_key)
+
+    def test_csrf_key_is_deployment_specific(self, app, webdb):
+        # Same session token, different deployment (fresh random key):
+        # the derived CSRF tokens must differ.
+        other = SessionMiddleware(
+            webdb, SafeWebMiddleware(BasicAuthenticator(webdb)), csrf_key=b"x" * 32
+        )
+        client = TestClient(app)
+        token, csrf = login(client)
+        assert csrf != csrf_token_for(token, other.csrf_key)
+
+    def test_csrf_key_persists_in_webdb(self, app, webdb):
+        # A middleware rebuilt over the same web database (a replica)
+        # must adopt the persisted key, not mint a new one.
+        replica = SessionMiddleware(webdb, SafeWebMiddleware(BasicAuthenticator(webdb)))
+        assert replica.csrf_key == app.session_middleware.csrf_key
 
     def test_bad_credentials_401(self, app):
         result = TestClient(app).post(
