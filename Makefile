@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: help test test-unit test-security bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench-supervision bench docs-check
+.PHONY: help test test-unit test-security test-cluster bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench-supervision bench-cluster bench docs-check
 
 ## Show every target with its description.
 help:
@@ -18,6 +18,10 @@ test-unit:
 ## The adversarial vulnerability corpus (both-direction security matrix).
 test-security:
 	$(PYTHON) -m pytest tests/security -q
+
+## The multi-process cluster engine: equivalence, chaos and deployment tests.
+test-cluster:
+	$(PYTHON) -m pytest tests/property/test_cluster_engine.py tests/integration/test_cluster_deployment.py -q
 
 ## Quick benchmark smoke: the broker ablation and throughput experiments.
 bench-smoke:
@@ -50,6 +54,10 @@ bench-pipeline:
 ## Supervision overhead snapshot: appends E4 off-vs-on results to BENCH_pipeline.json.
 bench-supervision:
 	$(PYTHON) scripts/bench_supervision.py
+
+## Cluster engine snapshot: appends E4 at 1/2/4/8 workers to BENCH_cluster.json.
+bench-cluster:
+	$(PYTHON) scripts/bench_cluster.py
 
 ## Fail if docs/*.md reference modules, files or make targets that don't exist.
 docs-check:

@@ -249,6 +249,17 @@ class AuditLog:
                 and (decision is None or dec == decision)
             )
 
+    def total_decisions(self) -> int:
+        """Exact count of decisions ever recorded (survives eviction).
+
+        The cluster drain protocol uses this as a per-process activity
+        counter: two consecutive identical totals with empty queues mean
+        the process made no enforcement decision in between.
+        """
+        self.flush()
+        with self._lock:
+            return sum(self._counters.values())
+
     def clear(self) -> None:
         with self._lock:
             self._pending.clear()

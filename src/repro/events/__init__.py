@@ -14,7 +14,9 @@ from repro.events.store import LabeledStore
 from repro.events.jail import Jail, isolate_callback
 from repro.events.unit import Unit, unit_from_function
 from repro.events.engine import EventProcessingEngine
+from repro.events.cluster import ClusterEngine, ClusterRouter
 from repro.events.lanes import EngineStats, ExecutionLane, LaneScheduler
+from repro.events.ring import HashRing, stable_hash
 from repro.events.supervision import (
     CircuitBreaker,
     SupervisionPolicy,
@@ -24,6 +26,10 @@ from repro.events.supervision import (
 
 __all__ = [
     "CircuitBreaker",
+    "ClusterEngine",
+    "ClusterRouter",
+    "HashRing",
+    "stable_hash",
     "SupervisionPolicy",
     "Supervisor",
     "dlq_topic",

@@ -1,0 +1,1046 @@
+"""Multi-process cluster engine: topic-sharded brokers + pinned workers.
+
+PR 5's laned engine tops out at GIL parity on CPU-bound pipelines; this
+module moves past it with *process*-level parallelism over the existing
+STOMP fabric (docs/CLUSTER.md has the full contract):
+
+* **Broker shards** — N broker processes, each an ordinary
+  ``Broker(threaded=True)`` behind a :class:`StompServer`. The topic
+  space is partitioned across them by a consistent-hash ring
+  (:class:`~repro.events.ring.HashRing`): an exact topic lives on
+  exactly one shard; wildcard subscriptions register on every shard and
+  rely on each *publish* hashing to one shard to avoid duplicates.
+* **Worker processes** — each runs a local synchronous
+  :class:`~repro.events.engine.EventProcessingEngine` whose broker is a
+  :class:`ClusterRouter`; units are pinned to workers by the parent's
+  placement ring. Unit callbacks run under the same LabelContext / jail
+  / supervision ladder as in-process.
+* **The codec is the IPC format** — events cross process boundaries as
+  ``encode_document`` bodies (:mod:`repro.events.cluster_codec`): value
+  labels ride the sidecar, the event-level label set rides the
+  ``x-safeweb-labels`` header, and the *receiving shard's* broker checks
+  clearance against its own policy copy exactly as in-process — a
+  compromised worker cannot claim clearance it does not have.
+* **At-least-once → DLQ** — worker deliveries use STOMP ``ack: client``:
+  the worker acks only after the unit callback finished *and* its
+  cascade publishes were receipt-confirmed. A worker that dies mid-event
+  leaves the delivery unacked; the shard dead-letters it to
+  ``/_dlq.<unit>`` under the original labels. The parent detects the
+  dead process and re-places its units on a surviving worker. Events are
+  observed, dead-lettered or audited-denied — never lost.
+
+The single-process synchronous engine remains the executable reference;
+``tests/property/test_cluster_engine.py`` pins the cluster's stores,
+labels and audit-decision multisets against it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.audit import AuditLog, default_audit_log
+from repro.core.labels import Label, LabelSet
+from repro.core.policy import Policy, PolicyDocument, UnitSpec
+from repro.events.cluster_codec import decode_event, encode_event, encode_payload
+from repro.events.event import Event
+from repro.events.ring import HashRing
+from repro.events.stomp.bridge import StompBrokerBridge
+from repro.events.supervision import SupervisionPolicy, is_dlq_topic
+from repro.exceptions import SafeWebError, SecurityViolation, StompProtocolError
+
+#: Infra logins every shard policy accepts beside the real units: the
+#: parent's ingress publishers and the cluster's own control principal.
+INGRESS_LOGINS = ("external", "scheduler", "_cluster")
+
+#: Prefix of the per-unit supervisor login (worker-side DLQ publishes).
+SUPERVISOR_PREFIX = "supervisor:"
+
+
+def shard_policy_document(document: PolicyDocument) -> PolicyDocument:
+    """The policy a broker shard authenticates against.
+
+    Clone of the deployment policy plus clearance-free specs for the
+    infra logins (ingress publishers, per-unit supervisors). Publishing
+    never requires clearance, and none of these logins subscribe, so an
+    empty grant set is fail-safe — while real units keep their exact
+    grants, which is what makes the shard's delivery-time clearance
+    check identical to the in-process broker's.
+    """
+    clone = PolicyDocument.from_json(document.to_json())
+    for login in INGRESS_LOGINS:
+        clone.units.setdefault(login, UnitSpec(name=login))
+    for name in list(clone.units):
+        supervisor_login = SUPERVISOR_PREFIX + name
+        clone.units.setdefault(supervisor_login, UnitSpec(name=supervisor_login))
+    return clone
+
+
+def _is_wildcard(topic: str) -> bool:
+    return "*" in topic or "#" in topic
+
+
+class _RouterSubscription:
+    """The Broker-surface subscription handle the engine keeps."""
+
+    __slots__ = ("subscription_id", "topic", "principal", "entries", "active")
+
+    def __init__(self, subscription_id: str, topic: str, principal: str, entries):
+        self.subscription_id = subscription_id
+        self.topic = topic
+        self.principal = principal
+        #: [(bridge, bridge-subscription-id)] — one per shard involved.
+        self.entries = entries
+        self.active = True
+
+
+class ClusterRouter:
+    """The federation gateway's export/import machinery, generalised.
+
+    A Broker-compatible facade that routes publishes to the shard owning
+    the topic and fans subscriptions out to the shards that can match
+    them. One STOMP connection per (role, principal, shard): *publish*
+    and *subscribe* connections are deliberately separate so that a
+    delivery callback can block on publish-receipt confirmation without
+    deadlocking its own listener thread.
+
+    Deliveries arrive as codec bodies and are decoded back into labeled
+    events (:func:`~repro.events.cluster_codec.decode_event`); a body
+    whose recorded labels disagree with the transport header the shard's
+    clearance check enforced is audited-denied and consumed, never
+    delivered. Per-principal delivery locks serialise a unit's callbacks
+    across its subscriptions — the same guarantee the laned engine's
+    per-unit mailboxes make.
+    """
+
+    def __init__(
+        self,
+        shards: Dict[str, Tuple[str, int]],
+        audit: Optional[AuditLog] = None,
+        ring: Optional[HashRing] = None,
+        ack_timeout: float = 10.0,
+    ):
+        if not shards:
+            raise SafeWebError("cluster router needs at least one shard")
+        self._shards = dict(shards)
+        self._ring = ring if ring is not None else HashRing(sorted(shards))
+        self._audit = audit if audit is not None else default_audit_log()
+        self._ack_timeout = ack_timeout
+        self._bridges: Dict[Tuple[str, str, str], StompBrokerBridge] = {}
+        self._bridge_lock = threading.RLock()
+        self._unit_locks: Dict[str, threading.Lock] = {}
+        self._subscriptions: Dict[str, _RouterSubscription] = {}
+        self._ids = itertools.count(1)
+        #: Worker-side tee of DLQ-topic publishes (clearance-free
+        #: accounting; the DLQ events themselves still flow through the
+        #: label-checked broker like any other event).
+        self.dlq_ledger: List[dict] = []
+        self._dlq_lock = threading.Lock()
+        self.closed = False
+
+    # -- topology -------------------------------------------------------------
+
+    @property
+    def shard_names(self) -> List[str]:
+        return sorted(self._shards)
+
+    def shard_for(self, topic: str) -> str:
+        """The shard owning *topic* (exact topics only)."""
+        return self._ring.node_for(topic)
+
+    def _shards_for_subscription(self, topic: str) -> List[str]:
+        if _is_wildcard(topic):
+            # A pattern cannot be hashed; register everywhere. Publishes
+            # hash to one shard, so matching stays exactly-once.
+            return self.shard_names
+        return [self._ring.node_for(topic)]
+
+    def _bridge(self, role: str, login: str, shard: str) -> StompBrokerBridge:
+        key = (role, login, shard)
+        with self._bridge_lock:
+            bridge = self._bridges.get(key)
+            if bridge is None:
+                host, port = self._shards[shard]
+                bridge = StompBrokerBridge(host, port, login=login, audit=self._audit)
+                bridge.connect()
+                self._bridges[key] = bridge
+            return bridge
+
+    def warm_publisher(self, login: str) -> None:
+        """Open *login*'s publish links to every shard now.
+
+        Publishes are jail-safe (queue appends), but the lazy first
+        connect is not — callers whose publishes can originate inside a
+        jailed callback must warm the links from trusted code first.
+        """
+        for shard in self.shard_names:
+            self._bridge("pub", login, shard)
+
+    def _unit_lock(self, principal: str) -> threading.Lock:
+        with self._bridge_lock:
+            lock = self._unit_locks.get(principal)
+            if lock is None:
+                lock = self._unit_locks[principal] = threading.Lock()
+            return lock
+
+    # -- the Broker surface ----------------------------------------------------
+
+    def publish(self, event: Event, publisher: str = "anonymous") -> int:
+        self._tee_dlq(event, publisher)
+        shard = self._ring.node_for(event.topic)
+        self._bridge("pub", publisher, shard).publish(self._transport(event))
+        return 0
+
+    def publish_many(self, events, publisher: str = "anonymous") -> int:
+        """Batched cross-shard publish: one receipt-confirmed run per shard."""
+        by_shard: Dict[str, List[Event]] = {}
+        for event in events:
+            self._tee_dlq(event, publisher)
+            by_shard.setdefault(self._ring.node_for(event.topic), []).append(
+                self._transport(event)
+            )
+        for shard, batch in by_shard.items():
+            self._bridge("pub", publisher, shard).publish_many(batch)
+        return 0
+
+    def subscribe(
+        self,
+        topic: str,
+        callback: Callable[[Event], None],
+        principal: str = "anonymous",
+        clearance=None,  # resolved by the shard's policy, never trusted
+        selector=None,
+        subscription_id: Optional[str] = None,
+        require_integrity: Optional[LabelSet] = None,
+    ) -> _RouterSubscription:
+        deliver = self._deliver_wrapper(callback, principal)
+        # Pre-warm this principal's publish links to every shard NOW,
+        # while we are outside the jail: a cascade publish from inside
+        # the unit's callback may target any shard, and the jail denies
+        # the socket connect a lazy first use would need.
+        for shard in self.shard_names:
+            self._bridge("pub", principal, shard)
+        entries = []
+        for shard in self._shards_for_subscription(topic):
+            bridge = self._bridge("sub", principal, shard)
+            bridge_sub = bridge.subscribe(
+                topic,
+                deliver,
+                principal=principal,
+                selector=selector,
+                require_integrity=require_integrity,
+                ack="client",
+            )
+            entries.append((bridge, bridge_sub.subscription_id))
+        router_id = subscription_id or f"cluster-sub-{next(self._ids)}"
+        subscription = _RouterSubscription(router_id, topic, principal, entries)
+        self._subscriptions[router_id] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        subscription = self._subscriptions.pop(subscription_id, None)
+        if subscription is None:
+            return
+        subscription.active = False
+        for bridge, bridge_sub_id in subscription.entries:
+            bridge.unsubscribe(bridge_sub_id)
+
+    def subscriptions_for(self, principal: str) -> List[_RouterSubscription]:
+        return [
+            subscription
+            for subscription in self._subscriptions.values()
+            if subscription.principal == principal
+        ]
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Flush every publish connection (receipt-confirmed)."""
+        for (role, _login, _shard), bridge in list(self._bridges.items()):
+            if role == "pub":
+                bridge.drain(timeout)
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # -- delivery --------------------------------------------------------------
+
+    def _deliver_wrapper(self, callback, principal: str):
+        unit_lock = self._unit_lock(principal)
+
+        def deliver(transport: Event, message_id: str = "") -> None:
+            bridge = None
+            try:
+                event = decode_event(
+                    transport.payload or "", transport_labels=transport.labels
+                )
+                if event.topic != transport.topic:
+                    # A shard re-wrapped the event (its DLQ path): the
+                    # transport carries the real topic and the dlq_*
+                    # metadata; the body restores the original payload
+                    # (value labels included).
+                    event = Event(
+                        transport.topic,
+                        transport.attributes,
+                        event.payload,
+                        transport.labels,
+                        timestamp=transport.timestamp,
+                    )
+            except SecurityViolation as violation:
+                self._audit.denied(
+                    "cluster",
+                    "decode",
+                    principal,
+                    labels=transport.labels,
+                    detail=f"{transport.topic}: {violation}",
+                )
+                self._find_sub_bridge(principal, transport).ack(message_id)
+                return
+            except StompProtocolError:
+                # Not a cluster body — a foreign STOMP publisher on the
+                # same fabric. Deliver the transport event as-is.
+                event = transport
+            try:
+                with unit_lock:
+                    callback(event)
+            except Exception as error:  # noqa: BLE001 - NACK, never lose
+                self._audit.denied(
+                    "cluster",
+                    "callback",
+                    principal,
+                    labels=event.labels,
+                    detail=f"{event.topic}: {error!r}",
+                )
+                self._find_sub_bridge(principal, transport).nack(message_id)
+                return
+            # Cascade durability before the ack: everything the callback
+            # published must be receipt-confirmed at its shard before
+            # this delivery is acknowledged — a crash in the gap yields
+            # a duplicate (at-least-once), never a gap.
+            self.drain(self._ack_timeout)
+            self._find_sub_bridge(principal, transport).ack(message_id)
+
+        return deliver
+
+    def _find_sub_bridge(self, principal: str, transport: Event) -> StompBrokerBridge:
+        shard = (
+            self.shard_names[0]
+            if not self._shards
+            else self._ring.node_for(transport.topic)
+        )
+        return self._bridge("sub", principal, shard)
+
+    def _transport(self, event: Event) -> Event:
+        """The on-the-wire form: codec body, attribute headers, label header."""
+        return Event(
+            event.topic,
+            event.attributes,
+            encode_event(event),
+            event.labels,
+            timestamp=event.timestamp,
+        )
+
+    def _tee_dlq(self, event: Event, publisher: str) -> None:
+        if not is_dlq_topic(event.topic):
+            return
+        with self._dlq_lock:
+            self.dlq_ledger.append(
+                {
+                    "topic": event.topic,
+                    "publisher": publisher,
+                    "unit": event.attributes.get("dlq_unit", ""),
+                    "reason": event.attributes.get("dlq_reason", ""),
+                    "labels": event.labels.to_uris(),
+                }
+            )
+
+    # -- health ----------------------------------------------------------------
+
+    def probe(self) -> dict:
+        """Liveness + counters for every link, keyed ``role:login:shard``."""
+        bridges = {}
+        published = delivered = errors = dead_lettered = 0
+        with self._bridge_lock:
+            items = list(self._bridges.items())
+        for (role, login, shard), bridge in items:
+            report = bridge.probe()
+            bridges[f"{role}:{login}:{shard}"] = report
+            published += report["published"]
+            delivered += report["delivered"]
+            errors += report["errors"]
+            dead_lettered += report["dead_lettered"]
+        return {
+            "healthy": all(report["connected"] for report in bridges.values())
+            if bridges
+            else True,
+            "shards": self.shard_names,
+            "bridges": bridges,
+            "published": published,
+            "delivered": delivered,
+            "errors": errors,
+            "dead_lettered": dead_lettered,
+            "dlq_ledger": len(self.dlq_ledger),
+        }
+
+    def ensure_connected(self) -> bool:
+        """Reconnect any down link; True when all links are healthy after."""
+        healthy = True
+        with self._bridge_lock:
+            bridges = list(self._bridges.values())
+        for bridge in bridges:
+            healthy = bridge.ensure_connected() and healthy
+        return healthy
+
+    def activity(self) -> int:
+        """Monotonic work counter for the drain stability check."""
+        total = 0
+        with self._bridge_lock:
+            bridges = list(self._bridges.values())
+        for bridge in bridges:
+            total += bridge.stats.published + bridge.stats.delivered
+        return total
+
+    def queues_empty(self) -> bool:
+        with self._bridge_lock:
+            bridges = list(self._bridges.values())
+        return all(bridge.probe()["outgoing_depth"] == 0 for bridge in bridges)
+
+    def close(self) -> None:
+        self.closed = True
+        with self._bridge_lock:
+            bridges = list(self._bridges.values())
+            self._bridges.clear()
+        for bridge in bridges:
+            try:
+                bridge.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+
+
+# -- child process mains -------------------------------------------------------
+#
+# Top-level functions so they pickle by reference under both fork and
+# spawn start methods. Control speaks over a multiprocessing Pipe:
+# {"op": ...} in, {"ok": ...} out, one request in flight per child.
+
+
+def _broker_shard_main(conn, policy_json: str, shard_name: str, supervision) -> None:
+    from repro.events.broker import Broker
+    from repro.events.stomp.server import StompServer
+
+    audit = AuditLog()
+    policy = Policy(PolicyDocument.from_json(policy_json))
+    broker = Broker(threaded=True, audit=audit)
+    server = StompServer(broker, policy=policy, audit=audit, supervision=supervision)
+    server.start()
+    conn.send({"ok": True, "address": server.address})
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message.get("op")
+            try:
+                if op == "ping":
+                    conn.send({"ok": True, "shard": shard_name})
+                elif op == "drain":
+                    broker.drain(message.get("timeout", 5.0))
+                    conn.send({"ok": True, "activity": audit.total_decisions()})
+                elif op == "audit":
+                    conn.send(
+                        {
+                            "ok": True,
+                            "records": [
+                                (
+                                    record.component,
+                                    record.operation,
+                                    record.principal,
+                                    record.decision,
+                                    tuple(record.labels.to_uris()),
+                                )
+                                for record in audit.records()
+                            ],
+                        }
+                    )
+                elif op == "dead_letters":
+                    conn.send({"ok": True, "dead_letters": list(server.dead_letters)})
+                elif op == "stop":
+                    conn.send({"ok": True})
+                    break
+                else:
+                    conn.send({"ok": False, "error": f"unknown op {op!r}"})
+            except Exception as error:  # noqa: BLE001 - report, keep serving
+                conn.send({"ok": False, "error": repr(error)})
+    finally:
+        server.stop()
+        broker.stop()
+
+
+def _worker_main(
+    conn,
+    policy_json: str,
+    shard_addresses: Dict[str, Tuple[str, int]],
+    worker_name: str,
+    options: dict,
+) -> None:
+    from repro.events.engine import EventProcessingEngine
+
+    audit = AuditLog()
+    policy = Policy(PolicyDocument.from_json(policy_json))
+    router = ClusterRouter(shard_addresses, audit=audit)
+    engine = EventProcessingEngine(
+        broker=router,
+        policy=policy,
+        audit=audit,
+        isolation=options.get("isolation", True),
+        supervision=options.get("supervision"),
+    )
+    conn.send({"ok": True, "worker": worker_name})
+
+    def activity() -> int:
+        return engine.stats.dispatched + engine.stats.queued + router.activity()
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message.get("op")
+            try:
+                if op == "ping":
+                    conn.send({"ok": True, "worker": worker_name})
+                elif op == "place":
+                    unit = pickle.loads(message["factory"])()
+                    engine.register(unit)
+                    conn.send({"ok": True, "unit": unit.name})
+                elif op == "unplace":
+                    engine.unregister(message["unit"])
+                    conn.send({"ok": True})
+                elif op == "drain":
+                    engine.drain(message.get("timeout", 10.0))
+                    router.drain()
+                    conn.send(
+                        {
+                            "ok": True,
+                            "activity": activity(),
+                            "idle": router.queues_empty(),
+                        }
+                    )
+                elif op == "stores":
+                    dumps = {}
+                    for name in engine.unit_names:
+                        store = engine.store_of(name)
+                        dumps[name] = {
+                            key: [store.get(key), list(store.labels_for(key).to_uris())]
+                            for key in store.keys()
+                        }
+                    conn.send({"ok": True, "stores": encode_payload(dumps)})
+                elif op == "audit":
+                    conn.send(
+                        {
+                            "ok": True,
+                            "records": [
+                                (
+                                    record.component,
+                                    record.operation,
+                                    record.principal,
+                                    record.decision,
+                                    tuple(record.labels.to_uris()),
+                                )
+                                for record in audit.records()
+                            ],
+                        }
+                    )
+                elif op == "stats":
+                    conn.send(
+                        {
+                            "ok": True,
+                            "stats": {
+                                "dispatched": engine.stats.dispatched,
+                                "callback_errors": engine.stats.callback_errors,
+                                "dead_lettered": engine.stats.dead_lettered,
+                                "retries": engine.stats.retries,
+                                "restarts": engine.stats.restarts,
+                            },
+                            "units": engine.unit_names,
+                        }
+                    )
+                elif op == "dead_letters":
+                    conn.send({"ok": True, "dead_letters": list(router.dlq_ledger)})
+                elif op == "probe":
+                    conn.send({"ok": True, "probe": router.probe()})
+                elif op == "stop":
+                    conn.send({"ok": True})
+                    break
+                else:
+                    conn.send({"ok": False, "error": f"unknown op {op!r}"})
+            except Exception as error:  # noqa: BLE001 - report, keep serving
+                conn.send({"ok": False, "error": repr(error)})
+    finally:
+        router.close()
+
+
+# -- parent-side handles -------------------------------------------------------
+
+
+class _ChildHandle:
+    """One shard or worker process plus its control pipe."""
+
+    __slots__ = ("name", "process", "conn", "lock", "alive", "address")
+
+    def __init__(self, name, process, conn):
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.alive = True
+        self.address: Optional[Tuple[str, int]] = None
+
+    def call(self, message: dict, timeout: float = 30.0) -> dict:
+        with self.lock:
+            self.conn.send(message)
+            if not self.conn.poll(timeout):
+                raise SafeWebError(
+                    f"{self.name}: control timeout waiting for {message.get('op')!r}"
+                )
+            reply = self.conn.recv()
+        if not reply.get("ok"):
+            raise SafeWebError(f"{self.name}: {reply.get('error', 'control error')}")
+        return reply
+
+
+class _Placement:
+    __slots__ = ("unit_name", "factory_bytes", "worker")
+
+    def __init__(self, unit_name: str, factory_bytes: bytes, worker: str):
+        self.unit_name = unit_name
+        self.factory_bytes = factory_bytes
+        self.worker = worker
+
+
+class ClusterEngine:
+    """Parent-side orchestrator: shard + worker processes, placement,
+    drain, supervision across the process boundary.
+
+    The engine-compatible surface (``publish`` / ``publish_batch`` /
+    ``drain`` / ``store_of`` …) lets :class:`MdtDeployment` treat a
+    cluster like the in-process engine for the pipeline stages it
+    offloads. Unit *factories* (not instances) are placed, so restart
+    after a worker death re-creates the unit from scratch on a survivor
+    — exactly the one-for-one restart contract, one level up.
+    """
+
+    def __init__(
+        self,
+        policy: Policy | PolicyDocument,
+        workers: int = 2,
+        shards: Optional[int] = None,
+        audit: Optional[AuditLog] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        isolation: bool = True,
+        monitor_interval: float = 0.2,
+        auto_restart: bool = True,
+        host: str = "127.0.0.1",
+    ):
+        if workers < 1:
+            raise SafeWebError("cluster needs at least one worker")
+        document = policy.document if isinstance(policy, Policy) else policy
+        self.document = document
+        self.audit = audit if audit is not None else default_audit_log()
+        self.supervision = supervision
+        self.isolation = isolation
+        self._worker_count = workers
+        self._shard_count = shards if shards else max(1, min(workers, 2))
+        self._monitor_interval = monitor_interval
+        self._auto_restart = auto_restart
+        self._host = host
+        self._ctx = multiprocessing.get_context("fork")
+        self._shards: Dict[str, _ChildHandle] = {}
+        self._workers: Dict[str, _ChildHandle] = {}
+        self._placements: Dict[str, _Placement] = {}
+        self._worker_ring: Optional[HashRing] = None
+        self.router: Optional[ClusterRouter] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.RLock()
+        self.started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ClusterEngine":
+        if self.started:
+            return self
+        shard_json = shard_policy_document(self.document).to_json()
+        worker_json = self.document.to_json()
+        for index in range(self._shard_count):
+            name = f"shard-{index}"
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_broker_shard_main,
+                args=(child_conn, shard_json, name, self.supervision),
+                name=f"safeweb-{name}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            handle = _ChildHandle(name, process, parent_conn)
+            if not parent_conn.poll(30):
+                raise SafeWebError(f"{name} failed to report its address")
+            hello = parent_conn.recv()
+            handle.address = tuple(hello["address"])
+            self._shards[name] = handle
+        addresses = {name: handle.address for name, handle in self._shards.items()}
+        options = {"isolation": self.isolation, "supervision": self.supervision}
+        for index in range(self._worker_count):
+            name = f"worker-{index}"
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, worker_json, addresses, name, options),
+                name=f"safeweb-{name}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            handle = _ChildHandle(name, process, parent_conn)
+            if not parent_conn.poll(30):
+                raise SafeWebError(f"{name} failed to start")
+            parent_conn.recv()
+            self._workers[name] = handle
+        self._worker_ring = HashRing(sorted(self._workers))
+        self.router = ClusterRouter(addresses, audit=self.audit)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="safeweb-cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+        self.started = True
+        self.audit.allowed(
+            "cluster",
+            "start",
+            "_cluster",
+            detail=f"{self._shard_count} shard(s), {self._worker_count} worker(s)",
+        )
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self.started:
+            return
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout)
+        if self.router is not None:
+            self.router.close()
+        for handle in list(self._workers.values()):
+            self._stop_child(handle, timeout)
+        for handle in list(self._shards.values()):
+            self._stop_child(handle, timeout)
+        self.started = False
+
+    def _stop_child(self, handle: _ChildHandle, timeout: float) -> None:
+        if handle.alive and handle.process.is_alive():
+            try:
+                handle.call({"op": "stop"}, timeout=timeout)
+            except Exception:  # noqa: BLE001 - escalate to terminate below
+                pass
+        handle.process.join(timeout)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout)
+        handle.alive = False
+
+    def __enter__(self) -> "ClusterEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- placement -------------------------------------------------------------
+
+    def place(self, factory: Callable[[], object], unit_name: str) -> str:
+        """Pin the unit *factory* builds to a worker; returns the worker.
+
+        *factory* must be picklable (a module-level callable, class, or
+        ``functools.partial`` of one) — it is shipped to the worker and
+        kept by the parent so the unit can be rebuilt on a survivor if
+        its worker dies.
+        """
+        self._require_started()
+        factory_bytes = pickle.dumps(factory)
+        with self._lock:
+            if unit_name in self._placements:
+                raise SafeWebError(f"unit {unit_name!r} already placed")
+            worker = self._pick_worker(unit_name)
+            worker.call({"op": "place", "factory": factory_bytes})
+            self._placements[unit_name] = _Placement(
+                unit_name, factory_bytes, worker.name
+            )
+            self.audit.allowed(
+                "cluster", "place", unit_name, detail=f"pinned to {worker.name}"
+            )
+            return worker.name
+
+    def unplace(self, unit_name: str) -> None:
+        with self._lock:
+            placement = self._placements.pop(unit_name, None)
+            if placement is None:
+                return
+            worker = self._workers.get(placement.worker)
+        if worker is not None and worker.alive:
+            worker.call({"op": "unplace", "unit": unit_name})
+
+    def placements(self) -> Dict[str, str]:
+        with self._lock:
+            return {name: p.worker for name, p in self._placements.items()}
+
+    def _pick_worker(self, unit_name: str) -> _ChildHandle:
+        for candidate in self._worker_ring.preference(
+            unit_name, count=len(self._workers)
+        ):
+            handle = self._workers[candidate]
+            if handle.alive and handle.process.is_alive():
+                return handle
+        raise SafeWebError("no live worker to place on")
+
+    # -- ingress / egress ------------------------------------------------------
+
+    def publish(
+        self,
+        topic: str,
+        attributes: Optional[dict] = None,
+        payload: Optional[str] = None,
+        labels: LabelSet | tuple | list = (),
+        publisher: str = "external",
+    ) -> Event:
+        """Inject an externally produced, pre-labelled event."""
+        self._require_started()
+        event = Event(topic, attributes, payload, labels)
+        self.router.publish(event, publisher=publisher)
+        return event
+
+    def publish_batch(self, events, publisher: str = "external") -> List[Event]:
+        self._require_started()
+        batch = [
+            event
+            if isinstance(event, Event)
+            else Event(
+                event["topic"],
+                event.get("attributes"),
+                event.get("payload"),
+                event.get("labels", ()),
+            )
+            for event in events
+        ]
+        self.router.publish_many(batch, publisher=publisher)
+        return batch
+
+    def subscribe(
+        self,
+        topic: str,
+        callback: Callable[[Event], None],
+        principal: str,
+        selector=None,
+        require_integrity: Optional[LabelSet] = None,
+    ) -> _RouterSubscription:
+        """A parent-side subscription (egress tap); clearance is the
+        *principal*'s, resolved by the shard — the deployment subscribes
+        as its storage unit to pull results back into the local engine."""
+        self._require_started()
+        return self.router.subscribe(
+            topic,
+            callback,
+            principal=principal,
+            selector=selector,
+            require_integrity=require_integrity,
+        )
+
+    # -- quiescence ------------------------------------------------------------
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Cross-process stability: two identical consecutive rounds.
+
+        One round flushes the parent's publish links, asks every live
+        worker to drain (engine + its publish links) and every shard to
+        drain its broker queue, then snapshots the global activity
+        counters. Quiescence is two consecutive rounds with identical
+        counters and empty queues — an event in flight between processes
+        lands in some counter by the next round.
+        """
+        self._require_started()
+        deadline = time.monotonic() + timeout
+        previous = None
+        while time.monotonic() < deadline:
+            self.router.drain(max(deadline - time.monotonic(), 0.1))
+            snapshot: List[object] = [self.router.activity()]
+            idle = self.router.queues_empty()
+            for handle in self._live_workers():
+                try:
+                    reply = handle.call(
+                        {"op": "drain", "timeout": 5.0},
+                        timeout=max(deadline - time.monotonic(), 1.0),
+                    )
+                except SafeWebError:
+                    continue  # a dying worker; the monitor will catch it
+                snapshot.append((handle.name, reply["activity"]))
+                idle = idle and reply.get("idle", True)
+            for handle in self._shards.values():
+                reply = handle.call(
+                    {"op": "drain", "timeout": 5.0},
+                    timeout=max(deadline - time.monotonic(), 1.0),
+                )
+                snapshot.append((handle.name, reply["activity"]))
+            stable = tuple(snapshot)
+            if idle and stable == previous:
+                return True
+            previous = stable
+            time.sleep(0.02)
+        return False
+
+    def _live_workers(self) -> List[_ChildHandle]:
+        return [
+            handle
+            for handle in self._workers.values()
+            if handle.alive and handle.process.is_alive()
+        ]
+
+    # -- observation -----------------------------------------------------------
+
+    def collect_stores(self) -> Dict[str, Dict[str, list]]:
+        """Merged ``{unit: {key: [value, label-uris]}}`` across workers.
+
+        Shipped through the codec (labels survive); tuples inside stored
+        values come back as lists, exactly as they would from the
+        document store — compare against a reference normalised the same
+        way.
+        """
+        from repro.events.cluster_codec import decode_payload
+
+        merged: Dict[str, Dict[str, list]] = {}
+        for handle in self._live_workers():
+            merged.update(decode_payload(handle.call({"op": "stores"})["stores"]))
+        return merged
+
+    def collect_audit(self, include_infra: bool = False) -> List[tuple]:
+        """Every enforcement decision, cluster-wide, as comparable tuples.
+
+        ``include_infra=False`` drops the decisions that only exist
+        because of the process split (STOMP session management, bridge
+        link maintenance, cluster placement) leaving the multiset the
+        property suite compares against the in-process reference.
+        """
+        infra = {"stomp", "bridge", "cluster"}
+        records: List[tuple] = [
+            (
+                record.component,
+                record.operation,
+                record.principal,
+                record.decision,
+                tuple(record.labels.to_uris()),
+            )
+            for record in self.audit.records()
+        ]
+        for handle in self._live_workers():
+            records.extend(tuple(item) for item in handle.call({"op": "audit"})["records"])
+        for handle in self._shards.values():
+            records.extend(tuple(item) for item in handle.call({"op": "audit"})["records"])
+        if include_infra:
+            return records
+        return [record for record in records if record[0] not in infra]
+
+    def dead_letters(self) -> Dict[str, list]:
+        """Every dead-letter ledger in the cluster."""
+        report: Dict[str, list] = {"parent": list(self.router.dlq_ledger)}
+        for handle in self._live_workers():
+            report[handle.name] = handle.call({"op": "dead_letters"})["dead_letters"]
+        for handle in self._shards.values():
+            report[handle.name] = handle.call({"op": "dead_letters"})["dead_letters"]
+        return report
+
+    def stats(self) -> Dict[str, dict]:
+        report = {}
+        for handle in self._live_workers():
+            reply = handle.call({"op": "stats"})
+            report[handle.name] = dict(reply["stats"], units=reply["units"])
+        return report
+
+    def probe(self) -> dict:
+        """Cluster health: process liveness + parent link health."""
+        workers = {
+            name: handle.alive and handle.process.is_alive()
+            for name, handle in self._workers.items()
+        }
+        shards = {
+            name: handle.process.is_alive() for name, handle in self._shards.items()
+        }
+        router = self.router.probe() if self.router is not None else {"healthy": False}
+        return {
+            "healthy": all(shards.values()) and any(workers.values()) and router["healthy"],
+            "workers": workers,
+            "shards": shards,
+            "placements": self.placements(),
+            "router": router,
+        }
+
+    # -- supervision across the process boundary -------------------------------
+
+    def kill_worker(self, name: str) -> None:
+        """Hard-kill a worker (chaos harness; SIGKILL, no cleanup)."""
+        self._workers[name].process.kill()
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self._monitor_interval):
+            for handle in list(self._workers.values()):
+                if handle.alive and not handle.process.is_alive():
+                    self._handle_worker_death(handle)
+
+    def _handle_worker_death(self, handle: _ChildHandle) -> None:
+        handle.alive = False
+        self.audit.denied(
+            "cluster",
+            "worker",
+            handle.name,
+            detail=f"worker process died (exit {handle.process.exitcode})",
+        )
+        if not self._auto_restart:
+            return
+        with self._lock:
+            orphans = [
+                placement
+                for placement in self._placements.values()
+                if placement.worker == handle.name
+            ]
+            for placement in orphans:
+                try:
+                    target = self._pick_worker(placement.unit_name)
+                except SafeWebError:
+                    self.audit.denied(
+                        "cluster",
+                        "restart_unit",
+                        placement.unit_name,
+                        detail="no live worker left",
+                    )
+                    continue
+                try:
+                    target.call({"op": "place", "factory": placement.factory_bytes})
+                except Exception as error:  # noqa: BLE001 - audited, next death retries
+                    self.audit.denied(
+                        "cluster",
+                        "restart_unit",
+                        placement.unit_name,
+                        detail=f"re-place on {target.name} failed: {error!r}",
+                    )
+                    continue
+                placement.worker = target.name
+                self.audit.allowed(
+                    "cluster",
+                    "restart_unit",
+                    placement.unit_name,
+                    detail=f"{handle.name} -> {target.name}",
+                )
+
+    def _require_started(self) -> None:
+        if not self.started:
+            raise SafeWebError("cluster engine is not started; call start() first")

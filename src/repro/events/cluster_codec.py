@@ -1,0 +1,106 @@
+"""Event ↔ labeled-document codec: the cluster's IPC wire format.
+
+Events crossing a process boundary ride STOMP frame bodies as JSON
+documents produced by the single-pass labeled codec
+(:func:`repro.taint.json_codec.encode_document`). The split mirrors how
+the document store persists labels:
+
+* the **plain document** carries topic, attributes, payload and
+  timestamp — ordinary JSON;
+* the **sidecar** carries RFC 6901 pointers → label URIs for every
+  *value-level* label inside the event (a :class:`LabeledStr` payload or
+  attribute), which the bare STOMP path would otherwise strip;
+* the **event-level** :class:`LabelSet` is recorded in the wrapper *and*
+  travels in the ``x-safeweb-labels`` transport header — the header is
+  what the receiving shard broker's clearance check reads, the body copy
+  is what the far side rebuilds the event from, and
+  :func:`decode_event` refuses a mismatch between the two so a hop
+  cannot silently downgrade an event's confidentiality.
+
+Control-plane payloads (store dumps, audit dumps, placement manifests)
+use the same machinery via :func:`encode_payload`/:func:`decode_payload`
+so labeled values survive collection into the parent process too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.core.labels import LabelSet
+from repro.events.event import Event
+from repro.exceptions import SecurityViolation, StompProtocolError
+from repro.taint.json_codec import decode_document, encode_document
+
+__all__ = ["encode_event", "decode_event", "encode_payload", "decode_payload"]
+
+#: Wire version; bump when the wrapper layout changes.
+CLUSTER_BODY_VERSION = 1
+
+
+def encode_event(event: Event) -> str:
+    """Serialise an event (value labels included) for a process hop."""
+    document = {
+        "topic": event.topic,
+        "attributes": dict(event.attributes),
+        "payload": event.payload,
+        "timestamp": event.timestamp,
+    }
+    plain, sidecar = encode_document(document)
+    return json.dumps(
+        {
+            "v": CLUSTER_BODY_VERSION,
+            "doc": plain,
+            "sidecar": sidecar,
+            "labels": event.labels.to_uris(),
+        },
+        sort_keys=True,
+    )
+
+
+def decode_event(body: str, transport_labels: Optional[LabelSet] = None) -> Event:
+    """Rebuild the event encoded by :func:`encode_event`.
+
+    *transport_labels* is the label set the transport header carried —
+    the set the receiving broker's clearance check actually enforced. A
+    body claiming different event-level labels is tamper evidence and
+    raises :class:`SecurityViolation` rather than trusting either copy.
+    """
+    try:
+        wrapper = json.loads(body)
+    except (TypeError, ValueError) as error:
+        raise StompProtocolError(f"undecodable cluster body: {error}") from None
+    if not isinstance(wrapper, dict) or wrapper.get("v") != CLUSTER_BODY_VERSION:
+        raise StompProtocolError("unknown cluster body version")
+    document = decode_document(wrapper.get("doc") or {}, wrapper.get("sidecar") or {})
+    labels = LabelSet.from_uris(wrapper.get("labels") or [])
+    if transport_labels is not None and labels != transport_labels:
+        raise SecurityViolation(
+            "cluster body labels do not match transport labels "
+            f"({sorted(labels.to_uris())} != {sorted(transport_labels.to_uris())})"
+        )
+    return Event(
+        topic=str(document["topic"]),
+        attributes=document.get("attributes") or {},
+        payload=document.get("payload"),
+        labels=labels,
+        timestamp=document.get("timestamp"),
+    )
+
+
+def encode_payload(value: Any) -> str:
+    """Serialise an arbitrary labeled structure for the control plane."""
+    plain, sidecar = encode_document(value)
+    return json.dumps(
+        {"v": CLUSTER_BODY_VERSION, "doc": plain, "sidecar": sidecar},
+        sort_keys=True,
+        default=str,
+    )
+
+
+def decode_payload(text: str) -> Any:
+    """Rebuild a structure encoded by :func:`encode_payload`."""
+    wrapper = json.loads(text)
+    if not isinstance(wrapper, dict) or wrapper.get("v") != CLUSTER_BODY_VERSION:
+        raise StompProtocolError("unknown cluster payload version")
+    return decode_document(wrapper.get("doc"), wrapper.get("sidecar") or {})

@@ -55,6 +55,15 @@ class _BridgeStats:
         self.dead_lettered = 0
 
 
+class _Batch:
+    """A run of events sent back-to-back under one trailing receipt."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+
 class _BridgeSubscription:
     __slots__ = ("subscription_id", "topic", "principal", "active")
 
@@ -200,13 +209,29 @@ class StompBrokerBridge:
         selector=None,
         subscription_id: Optional[str] = None,
         require_integrity: Optional[LabelSet] = None,
+        ack: str = "auto",
     ) -> _BridgeSubscription:
+        """Subscribe through the link.
+
+        With ``ack="client"`` the *callback* receives ``(event,
+        message_id)`` and must call :meth:`ack` when it has durably
+        finished with the event — an unacked delivery dead-letters at
+        the server if this side dies (the cluster's at-least-once hop).
+        """
         selector_text = getattr(selector, "text", selector)
         integrity = require_integrity or LabelSet()
 
-        def deliver(event: Event) -> None:
-            self.stats.delivered += 1
-            callback(event)
+        if ack == "client":
+
+            def deliver(event: Event, message_id: str = "") -> None:
+                self.stats.delivered += 1
+                callback(event, message_id)
+
+        else:
+
+            def deliver(event: Event) -> None:
+                self.stats.delivered += 1
+                callback(event)
 
         sub_id = self._client.subscribe(
             topic,
@@ -214,6 +239,7 @@ class StompBrokerBridge:
             selector=selector_text,
             subscription_id=subscription_id,
             require_integrity=integrity,
+            ack=ack,
         )
         subscription = _BridgeSubscription(sub_id, topic, principal)
         self._subscriptions[sub_id] = subscription
@@ -222,8 +248,17 @@ class StompBrokerBridge:
             "deliver": deliver,
             "selector": selector_text,
             "require_integrity": integrity,
+            "ack": ack,
         }
         return subscription
+
+    def ack(self, message_id: str) -> None:
+        """Acknowledge a ``ack="client"`` delivery (non-blocking)."""
+        self._client.ack(message_id)
+
+    def nack(self, message_id: str) -> None:
+        """Refuse a delivery; the server dead-letters it immediately."""
+        self._client.nack(message_id)
 
     def unsubscribe(self, subscription_id: str) -> None:
         subscription = self._subscriptions.pop(subscription_id, None)
@@ -241,6 +276,21 @@ class StompBrokerBridge:
         self._outgoing.put(event)
         return 0
 
+    def publish_many(self, events, publisher: str = "anonymous") -> int:
+        """Queue a batch; the sender writes the run back-to-back.
+
+        Only the final SEND of the run asks for a receipt — the server
+        processes a connection's frames in order, so one confirmation
+        covers the whole batch, and the back-to-back frames coalesce
+        into :meth:`Broker.publish_many` runs on the server side.
+        """
+        batch = list(events)
+        if not batch:
+            return 0
+        self.stats.published += len(batch)
+        self._outgoing.put(_Batch(batch))
+        return 0
+
     def __len__(self) -> int:
         return len(self._subscriptions)
 
@@ -253,6 +303,9 @@ class StompBrokerBridge:
                 return
             if isinstance(item, threading.Event):
                 item.set()
+                continue
+            if isinstance(item, _Batch):
+                self._send_batch_with_retry(item.events)
                 continue
             self._send_with_retry(item)
 
@@ -306,6 +359,52 @@ class StompBrokerBridge:
                 self._backoff(attempt)
                 self._reestablish()
 
+    def _send_batch_with_retry(self, events: List[Event]) -> bool:
+        """Send a batch; survive link failures as one unit.
+
+        The receipt rides the last frame only, so a mid-batch link death
+        retries the whole run — the far side may see leading events
+        twice, which the cluster's at-least-once contract permits.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self._chaos.hit("bridge.send")
+                last = len(events) - 1
+                for index, event in enumerate(events):
+                    self._client.send(
+                        event.topic,
+                        attributes=event.attributes,
+                        payload=event.payload or "",
+                        labels=event.labels,
+                        receipt=index == last,
+                    )
+                return True
+            except SimulatedCrash:
+                raise
+            except Exception as error:  # noqa: BLE001 - the sender must keep draining
+                self.stats.errors += 1
+                self._audit.denied(
+                    "bridge",
+                    "send",
+                    self._login,
+                    detail=f"batch of {len(events)} failed (attempt {attempt}): {error!r}",
+                )
+                if attempt >= self._max_send_attempts or not self._reconnect:
+                    for event in events:
+                        self.stats.dead_lettered += 1
+                        self.dead_letters.append(event)
+                    self._audit.denied(
+                        "bridge",
+                        "dead_letter",
+                        self._login,
+                        detail=f"batch of {len(events)} parked after {attempt} attempt(s)",
+                    )
+                    return False
+                self._backoff(attempt)
+                self._reestablish()
+
     def _backoff(self, attempt: int) -> None:
         if self._backoff_base <= 0:
             return
@@ -332,6 +431,7 @@ class StompBrokerBridge:
                     selector=spec["selector"],
                     subscription_id=sub_id,
                     require_integrity=spec["require_integrity"],
+                    ack=spec.get("ack", "auto"),
                 )
             self._client = client
             self.stats.reconnects += 1

@@ -63,6 +63,10 @@ class StompClient:
         # threads is unsafe on one TLS connection.
         self._outgoing: "queue.Queue[Frame]" = queue.Queue()
         self._connected = threading.Event()
+        #: Subscriptions created with ``ack="client"``; their callbacks
+        #: receive ``(event, message_id)`` so the consumer can ack after
+        #: it has actually finished processing.
+        self._ack_subscriptions: set = set()
         self.errors: list = []
 
     # -- lifecycle -----------------------------------------------------------
@@ -109,7 +113,7 @@ class StompClient:
         self,
         destination: str,
         attributes: Optional[dict] = None,
-        payload: str = "",
+        payload: "str | bytes" = "",
         labels: LabelSet | Iterable[Label | str] = (),
         receipt: bool = False,
     ) -> None:
@@ -135,6 +139,7 @@ class StompClient:
         selector: Optional[str] = None,
         subscription_id: Optional[str] = None,
         require_integrity: LabelSet | Iterable[Label | str] = (),
+        ack: str = "auto",
     ) -> str:
         subscription_id = subscription_id or f"client-sub-{next(_client_ids)}"
         headers = {
@@ -144,6 +149,9 @@ class StompClient:
         }
         if selector:
             headers["selector"] = selector
+        if ack != "auto":
+            headers["ack"] = ack
+            self._ack_subscriptions.add(subscription_id)
         if not isinstance(require_integrity, LabelSet):
             require_integrity = LabelSet(require_integrity)
         if require_integrity:
@@ -155,8 +163,28 @@ class StompClient:
         self._await_control({"RECEIPT"})
         return subscription_id
 
+    def ack(self, message_id: str, subscription_id: Optional[str] = None) -> None:
+        """Acknowledge a ``ack="client"`` delivery (non-blocking).
+
+        Fire-and-forget by design: acks are frequently sent from inside
+        delivery callbacks, which run on the listener thread — a
+        blocking receipt wait there would deadlock the connection.
+        """
+        headers = {"message-id": message_id}
+        if subscription_id is not None:
+            headers["subscription"] = subscription_id
+        self._transmit(Frame("ACK", headers))
+
+    def nack(self, message_id: str, subscription_id: Optional[str] = None) -> None:
+        """Refuse a delivery; the server dead-letters it immediately."""
+        headers = {"message-id": message_id}
+        if subscription_id is not None:
+            headers["subscription"] = subscription_id
+        self._transmit(Frame("NACK", headers))
+
     def unsubscribe(self, subscription_id: str) -> None:
         self._callbacks.pop(subscription_id, None)
+        self._ack_subscriptions.discard(subscription_id)
         self._transmit(
             Frame(
                 "UNSUBSCRIBE",
@@ -254,7 +282,10 @@ class StompClient:
             labels=labels,
         )
         try:
-            callback(event)
+            if subscription_id in self._ack_subscriptions:
+                callback(event, frame.header("message-id", ""))
+            else:
+                callback(event)
         except Exception as error:  # noqa: BLE001 - callbacks must not kill the listener
             self.errors.append(error)
 

@@ -13,6 +13,14 @@ escaped per STOMP 1.1 (``\\n`` → ``\\\\n``, ``:`` → ``\\\\c``, ``\\\\`` →
 ``\\\\\\\\``, ``\\r`` → ``\\\\r``). When a ``content-length`` header is
 present the body is read as exactly that many bytes, allowing NUL bytes
 in payloads; frames we encode always include it.
+
+Binary safety: bodies are stored as ``str`` but encoded and decoded with
+``utf-8``/``surrogateescape``, so *any* byte sequence — including bytes
+that are not valid UTF-8 — transits the fabric byte-exact. A ``bytes``
+body passed to :class:`Frame` is normalised to its surrogate-escaped
+string form; :attr:`Frame.body_bytes` recovers the exact original bytes.
+This is what lets the labeled-document codec ride the frame body as the
+cluster IPC format without an extra base64 layer.
 """
 
 from __future__ import annotations
@@ -56,14 +64,31 @@ def _unescape(text: str) -> str:
 
 
 class Frame:
-    """A decoded STOMP frame."""
+    """A decoded STOMP frame.
+
+    ``body`` may be given as ``str`` or ``bytes``; bytes are stored in
+    their surrogate-escaped string form so the frame type stays
+    uniformly ``str`` while :attr:`body_bytes` round-trips byte-exact.
+    """
 
     __slots__ = ("command", "headers", "body")
 
-    def __init__(self, command: str, headers: Optional[Dict[str, str]] = None, body: str = ""):
+    def __init__(
+        self,
+        command: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: "str | bytes" = "",
+    ):
         self.command = command
         self.headers = dict(headers or {})
+        if isinstance(body, (bytes, bytearray, memoryview)):
+            body = bytes(body).decode("utf-8", "surrogateescape")
         self.body = body
+
+    @property
+    def body_bytes(self) -> bytes:
+        """The body as the exact bytes it was (or will be) framed as."""
+        return self.body.encode("utf-8", "surrogateescape")
 
     def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
         return self.headers.get(name, default)
@@ -91,12 +116,12 @@ def encode_frame(frame: Frame) -> bytes:
     """Serialise a frame; always emits ``content-length``."""
     if frame.command not in CLIENT_COMMANDS | SERVER_COMMANDS:
         raise StompProtocolError(f"unknown STOMP command {frame.command!r}")
-    body = frame.body.encode("utf-8")
+    body = frame.body_bytes
     lines = [frame.command]
     for name, value in frame.headers.items():
         lines.append(f"{_escape(str(name))}:{_escape(str(value))}")
     lines.append(f"content-length:{len(body)}")
-    head = "\n".join(lines).encode("utf-8")
+    head = "\n".join(lines).encode("utf-8", "surrogateescape")
     return head + b"\n\n" + body + b"\x00"
 
 
@@ -132,7 +157,7 @@ class FrameParser:
         head_end = self._buffer.find(b"\n\n", start)
         if head_end == -1:
             return None, 0
-        header_block = self._buffer[start:head_end].decode("utf-8")
+        header_block = self._buffer[start:head_end].decode("utf-8", "surrogateescape")
         lines = header_block.split("\n")
         command = lines[0].strip("\r")
         if command not in CLIENT_COMMANDS | SERVER_COMMANDS:
@@ -170,4 +195,4 @@ class FrameParser:
             body = bytes(self._buffer[body_start:nul])
             consumed = nul + 1
         headers.pop("content-length", None)
-        return Frame(command, headers, body.decode("utf-8")), consumed
+        return Frame(command, headers, body.decode("utf-8", "surrogateescape")), consumed

@@ -19,11 +19,12 @@ paper's "extended with SSL support at the transport layer".
 
 from __future__ import annotations
 
+import itertools
 import queue
 import socketserver
 import ssl
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.audit import AuditLog, default_audit_log
 from repro.core.labels import LabelSet
@@ -32,6 +33,7 @@ from repro.core.privileges import PrivilegeSet
 from repro.events.broker import Broker
 from repro.events.event import Event
 from repro.events.stomp.frames import Frame, FrameParser, encode_frame
+from repro.events.supervision import SupervisionPolicy, Supervisor
 from repro.exceptions import SelectorSyntaxError, StompProtocolError
 
 #: Headers that carry protocol state rather than event attributes.
@@ -115,6 +117,16 @@ class _Connection(socketserver.BaseRequestHandler):
         self.subscriptions: Dict[str, str] = {}  # client id -> broker id
         self.outgoing: "queue.Queue[Frame]" = queue.Queue()
         self.closed = False
+        #: ``ack: client`` state — message-id -> (client sub id, event),
+        #: insertion-ordered so a dying connection dead-letters in-flight
+        #: events oldest-first. Registered by the broker's delivery
+        #: thread, drained by this connection's handler thread.
+        self.unacked: Dict[str, Tuple[str, Event]] = {}
+        self._unacked_lock = threading.Lock()
+        self._delivery_ids = itertools.count(1)
+        #: client id -> SUBSCRIBE parameters, kept so _cleanup can leave
+        #: an orphan tombstone behind for client-ack subscriptions.
+        self._sub_specs: Dict[str, dict] = {}
 
     def handle(self) -> None:
         sock = self.request
@@ -220,6 +232,8 @@ class _Connection(socketserver.BaseRequestHandler):
             "SEND": self._on_send,
             "SUBSCRIBE": self._on_subscribe,
             "UNSUBSCRIBE": self._on_unsubscribe,
+            "ACK": self._on_ack,
+            "NACK": self._on_nack,
             "DISCONNECT": self._on_disconnect,
         }.get(frame.command)
         if handler is None:
@@ -266,13 +280,44 @@ class _Connection(socketserver.BaseRequestHandler):
         if client_id in self.subscriptions:
             raise StompProtocolError(f"subscription id {client_id!r} already in use")
         selector = frame.header("selector")
+        ack_mode = frame.header("ack", "auto")
+        if ack_mode not in ("auto", "client"):
+            raise StompProtocolError(f"unsupported ack mode {ack_mode!r}")
         integrity_header = frame.header(REQUIRE_INTEGRITY_HEADER, "")
         require_integrity = LabelSet.from_uris(
             uri for uri in integrity_header.split(",") if uri
         )
 
-        def deliver(event: Event, _client_id=client_id) -> None:
-            self._send(event_to_message(event, _client_id))
+        if ack_mode == "client":
+            # At-least-once: the event is registered as in flight
+            # *before* the MESSAGE frame is queued, and stays registered
+            # until the client ACKs it. A connection that dies first
+            # dead-letters everything still in the map (see _cleanup) —
+            # the frame either reaches a consumer that acknowledges it or
+            # lands on the unit's DLQ; it cannot vanish with the socket.
+            def deliver(event: Event, _client_id=client_id) -> None:
+                if self.closed:
+                    # Raced a dying connection: the cleanup sweep may
+                    # already have drained the unacked map, so registering
+                    # now could lose the event. Dead-letter it directly.
+                    self.server.dead_letter_unacked(
+                        self.principal or "anonymous",
+                        event,
+                        "closed",
+                        reason="delivered to a closed connection",
+                    )
+                    return
+                message = event_to_message(event, _client_id)
+                delivery_id = f"{event.event_id}.{next(self._delivery_ids)}"
+                message.headers["message-id"] = delivery_id
+                with self._unacked_lock:
+                    self.unacked[delivery_id] = (_client_id, event)
+                self._send(message)
+
+        else:
+
+            def deliver(event: Event, _client_id=client_id) -> None:
+                self._send(event_to_message(event, _client_id))
 
         subscription = self.server.broker.subscribe(
             destination,
@@ -283,11 +328,45 @@ class _Connection(socketserver.BaseRequestHandler):
             require_integrity=require_integrity,
         )
         self.subscriptions[client_id] = subscription.subscription_id
+        self._sub_specs[client_id] = {
+            "destination": destination,
+            "selector": selector,
+            "require_integrity": require_integrity,
+            "ack": ack_mode,
+        }
+        if ack_mode == "client":
+            # A returning consumer takes over from its tombstone — the
+            # new subscription is live first, so the handover can
+            # duplicate deliveries but never drop them.
+            self.server.adopt_orphan(principal, destination)
+
+    def _on_ack(self, frame: Frame) -> None:
+        self._require_connected()
+        message_id = frame.require("message-id")
+        with self._unacked_lock:
+            entry = self.unacked.pop(message_id, None)
+        if entry is None:
+            raise StompProtocolError(f"unknown or already-acked message {message_id!r}")
+
+    def _on_nack(self, frame: Frame) -> None:
+        """A consumer refusing an event dead-letters it immediately."""
+        principal = self._require_connected()
+        message_id = frame.require("message-id")
+        with self._unacked_lock:
+            entry = self.unacked.pop(message_id, None)
+        if entry is None:
+            raise StompProtocolError(f"unknown or already-acked message {message_id!r}")
+        _client_id, event = entry
+        self.server.dead_letter_unacked(
+            principal, event, message_id, reason="consumer NACK"
+        )
 
     def _on_unsubscribe(self, frame: Frame) -> None:
         self._require_connected()
         client_id = frame.require("id")
         broker_id = self.subscriptions.pop(client_id, None)
+        # A deliberate unsubscribe leaves no tombstone behind.
+        self._sub_specs.pop(client_id, None)
         if broker_id is None:
             raise StompProtocolError(f"unknown subscription id {client_id!r}")
         self.server.broker.unsubscribe(broker_id)
@@ -307,9 +386,36 @@ class _Connection(socketserver.BaseRequestHandler):
         self.outgoing.put(frame)
 
     def _cleanup(self) -> None:
+        self.closed = True
+        # Tombstones go up BEFORE the real subscriptions come down: an
+        # event published in the gap matches the tombstone and lands on
+        # the unit's DLQ instead of fanning out to nobody. Until the
+        # unsubscribe below, both match — a duplicate, which the
+        # at-least-once contract permits; a drop, which it does not,
+        # cannot happen.
+        for client_id, spec in self._sub_specs.items():
+            if spec["ack"] == "client" and client_id in self.subscriptions:
+                self.server.orphan_subscription(
+                    self.principal or "anonymous",
+                    self.clearance,
+                    spec["destination"],
+                    selector=spec["selector"],
+                    require_integrity=spec["require_integrity"],
+                )
+        self._sub_specs.clear()
         for broker_id in self.subscriptions.values():
             self.server.broker.unsubscribe(broker_id)
         self.subscriptions.clear()
+        with self._unacked_lock:
+            in_flight = list(self.unacked.items())
+            self.unacked.clear()
+        for message_id, (_client_id, event) in in_flight:
+            self.server.dead_letter_unacked(
+                self.principal or "anonymous",
+                event,
+                message_id,
+                reason="connection lost with message in flight",
+            )
 
 
 class StompServer(socketserver.ThreadingTCPServer):
@@ -333,13 +439,106 @@ class StompServer(socketserver.ThreadingTCPServer):
         policy: Optional[Policy] = None,
         tls_context: Optional[ssl.SSLContext] = None,
         audit: Optional[AuditLog] = None,
+        supervision: Optional[SupervisionPolicy] = None,
     ):
         self.broker = broker
         self.policy = policy
         self.tls_context = tls_context
         self.audit = audit if audit is not None else default_audit_log()
+        #: Dead-letters events whose ``ack: client`` consumers died with
+        #: the delivery in flight (same DLQ semantics as the engine's).
+        self.supervisor = Supervisor(supervision)
+        #: Operator-facing ledger of those dead-letter decisions.
+        self.dead_letters: list = []
+        self._dead_letter_lock = threading.Lock()
+        #: (principal, destination) -> broker subscription id of an
+        #: orphan tombstone standing in for a dead client-ack consumer.
+        self._orphans: Dict[Tuple[str, str], str] = {}
+        self._orphan_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), _Connection)
+
+    def dead_letter_unacked(
+        self, principal: str, event: Event, message_id: str, reason: str
+    ) -> None:
+        """Route an unacknowledged in-flight event to the DLQ ladder."""
+        dead = self.supervisor.dead_letter(
+            self.broker, self.audit, principal, event, reason, attempts=1
+        )
+        with self._dead_letter_lock:
+            self.dead_letters.append(
+                {
+                    "principal": principal,
+                    "topic": event.topic,
+                    "message_id": message_id,
+                    "reason": reason,
+                    "labels": event.labels.to_uris(),
+                    "published": dead is not None,
+                }
+            )
+
+    # -- orphan tombstones ----------------------------------------------------
+
+    def orphan_subscription(
+        self,
+        principal: str,
+        clearance: PrivilegeSet,
+        destination: str,
+        selector: Optional[str] = None,
+        require_integrity: Optional[LabelSet] = None,
+    ) -> None:
+        """Stand in for a dead ``ack: client`` consumer.
+
+        The tombstone subscribes with the dead consumer's principal and
+        clearance (so label filtering matches exactly what the consumer
+        would have seen) and dead-letters every delivery — events
+        published while the consumer is being restarted elsewhere land
+        on ``/_dlq.<principal>`` instead of fanning out to nobody. The
+        consumer's next SUBSCRIBE to the destination adopts (drops) it.
+        """
+        key = (principal, destination)
+        with self._orphan_lock:
+            if key in self._orphans:
+                return
+
+            def tombstone(event: Event, _principal=principal) -> None:
+                self.dead_letter_unacked(
+                    _principal,
+                    event,
+                    "orphan",
+                    reason="subscriber connection lost; no live consumer",
+                )
+
+            subscription = self.broker.subscribe(
+                destination,
+                tombstone,
+                principal=principal,
+                clearance=clearance,
+                selector=selector,
+                require_integrity=require_integrity or LabelSet(),
+            )
+            self._orphans[key] = subscription.subscription_id
+        self.audit.denied(
+            "stomp",
+            "orphan",
+            principal,
+            detail=f"{destination}: client-ack consumer lost; "
+            "dead-lettering until it resubscribes",
+        )
+
+    def adopt_orphan(self, principal: str, destination: str) -> None:
+        """Drop the tombstone once a live consumer subscribed again."""
+        with self._orphan_lock:
+            subscription_id = self._orphans.pop((principal, destination), None)
+        if subscription_id is None:
+            return
+        self.broker.unsubscribe(subscription_id)
+        self.audit.allowed(
+            "stomp",
+            "adopt",
+            principal,
+            detail=f"{destination}: live consumer resubscribed; tombstone dropped",
+        )
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -125,6 +125,8 @@ class MdtDeployment:
         data_dir: Optional[str] = None,
         fsync_batch: int = DEFAULT_FSYNC_BATCH,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        cluster_workers: int = 0,
+        cluster_shards: Optional[int] = None,
     ):
         self.audit = audit if audit is not None else AuditLog()
         self.firewall = Firewall()
@@ -189,11 +191,25 @@ class MdtDeployment:
 
         self.producer = DataProducer(self.main_db, label_events=label_events)
         aggregator_cls = BuggyDataAggregator if aggregator_vulnerability else DataAggregator
-        self.aggregator = aggregator_cls()
         self.storage = DataStorage(self.app_db, breaker=storage_breaker)
         self.engine.register(self.producer)
-        self.engine.register(self.aggregator)
         self.engine.register(self.storage)
+        # ``cluster_workers=N`` offloads the aggregator — the CPU-bound,
+        # jailed, stateless-outside-its-store unit — to the multi-process
+        # cluster engine (repro.events.cluster): topic-sharded broker
+        # processes plus pinned worker processes over the STOMP fabric.
+        # Producer and storage stay local (they touch this process's
+        # databases). Default **off**: the synchronous in-process engine
+        # remains the executable reference and the benchmarks' baseline.
+        self.cluster = None
+        if cluster_workers:
+            self.cluster = self._start_cluster(
+                aggregator_cls, cluster_workers, cluster_shards, supervision, isolation
+            )
+            self.aggregator = None  # lives in a worker process
+        else:
+            self.aggregator = aggregator_cls()
+            self.engine.register(self.aggregator)
 
         # --- DMZ ---------------------------------------------------------------
         if self.data_dir is not None:
@@ -250,11 +266,70 @@ class MdtDeployment:
                 else None
             ),
             csrf_protect=csrf_protect,
+            health_probe=self.probe,
         )
         #: Scratch space for the §5.2 corpus harness: injection patches
         #: stash their artefacts (observer sinks, side-channel handles)
         #: here so attacks and oracles can reach them.
         self.corpus_state: dict = {}
+
+    # -- cluster offload ----------------------------------------------------------
+
+    #: Local topics forwarded into the cluster (the aggregator's inputs)
+    #: and cluster topics tapped back into the local broker (its outputs,
+    #: consumed by the storage unit).
+    CLUSTER_FORWARD_TOPICS = ("/patient_report",)
+    CLUSTER_RETURN_TOPICS = ("/aggregated_record", "/mdt_metric", "/region_metric")
+
+    def _start_cluster(self, aggregator_cls, workers, shards, supervision, isolation):
+        from repro.events.cluster import ClusterEngine
+        from repro.events.supervision import SupervisionPolicy
+
+        cluster = ClusterEngine(
+            self.workload.policy,
+            workers=workers,
+            shards=shards,
+            audit=self.audit,
+            # Worker processes rebuild their supervisor from the policy
+            # (a Supervisor instance holds locks and is not portable).
+            supervision=supervision if isinstance(supervision, SupervisionPolicy) else None,
+            isolation=isolation,
+        ).start()
+        cluster.place(aggregator_cls, "data_aggregator")
+        # Events the producer publishes locally are forwarded into the
+        # cluster under the aggregator's own delivery clearance — the
+        # forward leg sees exactly the events an in-process aggregator
+        # would. The publish links are warmed now because the forwarder
+        # runs inside the producer's jailed callback, where the lazy
+        # first socket connect would be denied.
+        cluster.router.warm_publisher("data_producer")
+        cluster.router.warm_publisher("scheduler")
+        aggregator_clearance = self.workload.policy.unit(
+            "data_aggregator"
+        ).effective_clearance()
+
+        def forward(event):
+            cluster.router.publish(event, publisher="data_producer")
+
+        for topic in self.CLUSTER_FORWARD_TOPICS:
+            self.broker.subscribe(
+                topic,
+                forward,
+                principal="data_aggregator",
+                clearance=aggregator_clearance,
+            )
+
+        # The aggregator's outputs come back over the STOMP fabric —
+        # labels intact via the codec sidecar, clearance re-checked by
+        # the shard against the storage unit's own grants — and re-enter
+        # the local broker for the storage unit exactly as if the
+        # aggregator had published them in-process.
+        def tap(event):
+            self.broker.publish(event, publisher="data_aggregator")
+
+        for topic in self.CLUSTER_RETURN_TOPICS:
+            cluster.subscribe(topic, tap, principal="data_storage")
+        return cluster
 
     # -- pipeline drivers ---------------------------------------------------------
 
@@ -266,17 +341,25 @@ class MdtDeployment:
     def aggregate(self) -> None:
         """Trigger per-MDT and per-region metric computation."""
         for mdt_id in self.directory.mdt_ids():
-            self.engine.publish(
-                "/control/aggregate", {"mdt_id": mdt_id}, publisher="scheduler"
-            )
+            self._publish_control("/control/aggregate", {"mdt_id": mdt_id})
+        # The regional pass reads the per-MDT metrics it just requested,
+        # so in cluster mode the two control waves need a barrier — the
+        # synchronous engine sequences them by construction.
+        if self.cluster is not None:
+            self._settle()
         for region in self.directory.regions():
             mdt_ids = ",".join(info.mdt_id for info in self.directory.in_region(region))
-            self.engine.publish(
-                "/control/aggregate_region",
-                {"region": region, "mdt_ids": mdt_ids},
-                publisher="scheduler",
+            self._publish_control(
+                "/control/aggregate_region", {"region": region, "mdt_ids": mdt_ids}
             )
         self._settle()
+
+    def _publish_control(self, topic: str, attributes: dict) -> None:
+        """Control events go wherever the aggregator lives."""
+        if self.cluster is not None:
+            self.cluster.publish(topic, attributes, publisher="scheduler")
+        else:
+            self.engine.publish(topic, attributes, publisher="scheduler")
 
     def _settle(self, timeout: float = 60.0) -> None:
         """Pipeline-stage barrier: wait for lanes to empty (parallel mode).
@@ -292,6 +375,10 @@ class MdtDeployment:
             raise SafeWebError(
                 f"pipeline stage barrier: engine lanes did not drain within {timeout}s"
             )
+        if self.cluster is not None and not self.cluster.drain(timeout):
+            raise SafeWebError(
+                f"pipeline stage barrier: cluster did not drain within {timeout}s"
+            )
 
     def replicate(self) -> None:
         """Push the application database across the firewall into the DMZ."""
@@ -303,12 +390,47 @@ class MdtDeployment:
         Skipping this is safe — it is exactly a process crash, and
         recovery replays the durable prefix — but un-fsynced tail
         writes are then only as durable as the page cache."""
+        if self.cluster is not None:
+            self.cluster.stop()
+            self.cluster = None
         for database in self._durable_dbs:
             flush_durable(database)
             close_durable(database)
         self._durable_dbs = []
         if self.data_dir is not None:
             self.webdb.close()
+
+    # -- health ------------------------------------------------------------------
+
+    def probe(self) -> dict:
+        """Operational health: engine, broker, and (when on) the cluster
+        fabric — every STOMP link's :meth:`StompBrokerBridge.probe`
+        rolled up. Served by the portal's ``GET /metrics`` page."""
+        report = {
+            "healthy": True,
+            "engine": {
+                "parallel": self.engine.parallel,
+                "units": self.engine.unit_names,
+                "stats": self.engine.stats.snapshot(),
+            },
+            "broker": {
+                "subscriptions": len(self.broker),
+                "published": self.broker.stats.published,
+                "delivered": self.broker.stats.delivered,
+            },
+            "cluster": None,
+        }
+        if self.cluster is not None:
+            cluster_report = self.cluster.probe()
+            report["cluster"] = cluster_report
+            report["healthy"] = bool(cluster_report["healthy"])
+        return report
+
+    def ensure_connected(self) -> bool:
+        """Reconnect any down cluster link; True when healthy after."""
+        if self.cluster is None:
+            return True
+        return self.cluster.router.ensure_connected()
 
     def run_pipeline(self) -> None:
         """Import → aggregate → replicate: the full backend pass."""

@@ -23,7 +23,8 @@ installed, none of them disclose data.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import json
+from typing import Callable, Optional, Tuple
 
 from repro.core.audit import AuditLog
 from repro.exceptions import SafeWebError
@@ -107,6 +108,7 @@ def build_portal(
     sessions: bool = True,
     session_db=None,
     csrf_protect: bool = True,
+    health_probe: Optional[Callable[[], dict]] = None,
 ) -> Tuple[SafeWebApp, SafeWebMiddleware]:
     """Assemble the portal app with the SafeWeb middleware installed.
 
@@ -125,6 +127,11 @@ def build_portal(
     authenticator_cls = CachingAuthenticator if cached_auth else BasicAuthenticator
     authenticator = authenticator_cls(webdb)
     public_paths = {"/health"}
+    if health_probe is not None:
+        # Operational counters only (link states, queue depths) — no
+        # patient data flows through the probe, so it sits beside
+        # /health on the unauthenticated monitoring surface.
+        public_paths.add("/metrics")
     if sessions:
         public_paths.add("/login")
     middleware = SafeWebMiddleware(
@@ -213,6 +220,20 @@ def build_portal(
     @app.get("/health")
     def health(request: Request):
         return Response("ok", content_type="text/plain")
+
+    if health_probe is not None:
+
+        @app.get("/metrics")
+        def operational_metrics(request: Request):
+            # The deployment's health probe: engine/broker counters and,
+            # in cluster mode, per-link StompBrokerBridge.probe() rollups.
+            report = health_probe()
+            status = 200 if report.get("healthy", False) else 503
+            return Response(
+                json.dumps(report, default=str, sort_keys=True),
+                status=status,
+                content_type="application/json",
+            )
 
     @app.get("/")
     def front_page(request: Request):

@@ -1,0 +1,74 @@
+"""Integration: the MDT pipeline on the multi-process cluster engine.
+
+``MdtDeployment(cluster_workers=N)`` moves the aggregator into a worker
+process behind topic-sharded broker processes; the pipeline output (the
+anonymised documents in the DMZ database) must be byte-identical to the
+single-process run, and the health surface must report the cluster.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mdt.deployment import MdtDeployment
+from repro.mdt.workload import WorkloadConfig
+
+
+def _small_config() -> WorkloadConfig:
+    return WorkloadConfig(num_regions=2, mdts_per_region=2, patients_per_mdt=3)
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    config = _small_config()
+    sync = MdtDeployment(config=config)
+    sync.run_pipeline()
+    sync_docs = {
+        doc_id: sync.dmz_db.get(doc_id)
+        for doc_id in sorted(sync.app_db.all_doc_ids())
+    }
+    sync.close()
+    clustered = MdtDeployment(config=config, cluster_workers=2)
+    try:
+        clustered.run_pipeline()
+        yield sync_docs, clustered
+    finally:
+        clustered.close()
+
+
+class TestClusteredPipeline:
+    def test_dmz_documents_identical_to_sync_run(self, pipelines):
+        sync_docs, clustered = pipelines
+        cluster_docs = {
+            doc_id: clustered.dmz_db.get(doc_id)
+            for doc_id in sorted(clustered.app_db.all_doc_ids())
+        }
+        assert cluster_docs == sync_docs
+        assert sync_docs  # the comparison is not vacuous
+
+    def test_probe_reports_healthy_cluster(self, pipelines):
+        _, clustered = pipelines
+        report = clustered.probe()
+        assert report["healthy"] is True
+        assert report["cluster"] is not None
+        assert all(report["cluster"]["workers"].values())
+        assert all(report["cluster"]["shards"].values())
+        assert "data_aggregator" in report["cluster"]["placements"]
+        assert clustered.ensure_connected() is True
+
+    def test_metrics_endpoint_is_public_and_sanitised(self, pipelines):
+        _, clustered = pipelines
+        response = clustered.anonymous_client().get("/metrics")
+        assert response.status == 200
+        report = json.loads(response.text)
+        assert report["healthy"] is True
+        # Operational counters only — no patient identifiers leak out.
+        assert "nhs" not in response.text.lower()
+
+    def test_portal_still_serves_authenticated_users(self, pipelines):
+        _, clustered = pipelines
+        user = next(iter(clustered.workload.user_passwords))
+        page = clustered.client_for(user).get("/")
+        assert page.status == 200

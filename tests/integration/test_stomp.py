@@ -157,6 +157,20 @@ class TestPubSub:
         publisher.disconnect()
         subscriber.disconnect()
 
+    def test_binary_payload_round_trips_byte_exact(self, server):
+        """Seed-failing: non-UTF-8 bytes must survive the whole fabric."""
+        blob = b"\x00\xff\xfe binary \x80\x00 tail"
+        publisher = connect(server, login="data_producer")
+        subscriber = connect(server)
+        received = []
+        subscriber.subscribe("/patient_report", received.append)
+        publisher.send("/patient_report", payload=blob, receipt=True)
+        assert wait_for(lambda: len(received) == 1)
+        payload = received[0].payload
+        assert payload.encode("utf-8", "surrogateescape") == blob
+        publisher.disconnect()
+        subscriber.disconnect()
+
     def test_selector_filtering_over_the_wire(self, server):
         publisher = connect(server, login="data_producer")
         subscriber = connect(server)

@@ -1,0 +1,88 @@
+"""Unit tests for the cluster IPC codec."""
+
+import pytest
+
+from repro.core.labels import LabelSet, conf_label, int_label
+from repro.events.cluster_codec import (
+    decode_event,
+    decode_payload,
+    encode_event,
+    encode_payload,
+)
+from repro.events.event import Event
+from repro.exceptions import SecurityViolation, StompProtocolError
+from repro.taint import labels_of, with_labels
+
+SECRET = conf_label("ecric.org.uk", "secret")
+PATIENT = conf_label("ecric.org.uk", "patient")
+TRUSTED = int_label("ecric.org.uk", "trusted")
+
+
+class TestEventRoundTrip:
+    def test_plain_event(self):
+        event = Event(topic="/t", attributes={"k": "v"}, payload="p")
+        decoded = decode_event(encode_event(event))
+        assert decoded.topic == "/t"
+        assert dict(decoded.attributes) == {"k": "v"}
+        assert decoded.payload == "p"
+        assert decoded.labels == LabelSet.empty()
+        assert decoded.timestamp == event.timestamp
+
+    def test_event_level_labels_round_trip(self):
+        event = Event(topic="/t", payload="p", labels=[SECRET, TRUSTED])
+        decoded = decode_event(encode_event(event))
+        assert decoded.labels == LabelSet([SECRET, TRUSTED])
+
+    def test_value_level_labels_survive_the_hop(self):
+        """The reason the codec is the IPC format: a bare STOMP body
+        would strip the payload's LabeledStr; the sidecar carries it."""
+        payload = with_labels("cell-value", LabelSet([PATIENT]))
+        event = Event(
+            topic="/t",
+            attributes={"name": with_labels("alice", LabelSet([SECRET]))},
+            payload=payload,
+            labels=[PATIENT],
+        )
+        decoded = decode_event(encode_event(event))
+        assert labels_of(decoded.payload) == LabelSet([PATIENT])
+        assert labels_of(decoded.attributes["name"]) == LabelSet([SECRET])
+        assert decoded.payload == "cell-value"
+
+    def test_none_payload(self):
+        decoded = decode_event(encode_event(Event(topic="/t")))
+        assert decoded.payload is None
+
+    def test_transport_label_match_accepted(self):
+        event = Event(topic="/t", labels=[SECRET])
+        decoded = decode_event(encode_event(event), transport_labels=LabelSet([SECRET]))
+        assert decoded.labels == LabelSet([SECRET])
+
+    def test_transport_label_mismatch_rejected(self):
+        """A body claiming lower labels than the header the clearance
+        check enforced is tamper evidence, not a downgrade."""
+        body = encode_event(Event(topic="/t", labels=[]))
+        with pytest.raises(SecurityViolation):
+            decode_event(body, transport_labels=LabelSet([SECRET]))
+
+    def test_garbage_body_rejected(self):
+        with pytest.raises(StompProtocolError):
+            decode_event("not json at all {")
+        with pytest.raises(StompProtocolError):
+            decode_event('{"v": 99, "doc": {}}')
+
+
+class TestPayloadRoundTrip:
+    def test_labeled_store_dump(self):
+        dump = {
+            "unit-a": {
+                "count": "3",
+                "secret": with_labels("s", LabelSet([SECRET, TRUSTED])),
+            }
+        }
+        decoded = decode_payload(encode_payload(dump))
+        assert decoded["unit-a"]["count"] == "3"
+        assert labels_of(decoded["unit-a"]["secret"]) == LabelSet([SECRET, TRUSTED])
+
+    def test_nested_plain_structures(self):
+        value = {"a": [1, 2, {"b": None}], "c": True}
+        assert decode_payload(encode_payload(value)) == value

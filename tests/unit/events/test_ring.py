@@ -1,0 +1,85 @@
+"""Unit tests for the consistent-hash ring."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.events.ring import HashRing, stable_hash
+from repro.exceptions import SafeWebError
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        assert stable_hash("/topic/a") == stable_hash("/topic/a")
+
+    def test_deterministic_across_processes(self):
+        """The property Python's salted hash() lacks — and the reason the
+        ring must not use it: every cluster process must agree on topic
+        ownership without coordinating."""
+        script = "from repro.events.ring import stable_hash; print(stable_hash('/patient_report'))"
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout.strip()
+            for seed in ("0", "42")
+        }
+        assert outputs == {str(stable_hash("/patient_report"))}
+
+
+class TestHashRing:
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(SafeWebError):
+            HashRing().node_for("/t")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["shard-0"])
+        assert ring.node_for("/a") == "shard-0"
+        assert ring.node_for("/b") == "shard-0"
+
+    def test_duplicate_and_missing_nodes_rejected(self):
+        ring = HashRing(["shard-0"])
+        with pytest.raises(SafeWebError):
+            ring.add_node("shard-0")
+        with pytest.raises(SafeWebError):
+            ring.remove_node("shard-9")
+
+    def test_lookup_stable_under_unrelated_removal(self):
+        """Removing a node only moves the keys that node owned."""
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        keys = [f"/topic/{i}" for i in range(200)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node("shard-3")
+        for key, owner in before.items():
+            if owner != "shard-3":
+                assert ring.node_for(key) == owner
+
+    def test_partition_covers_all_nodes_and_keys(self):
+        ring = HashRing([f"shard-{i}" for i in range(3)])
+        keys = [f"/topic/{i}" for i in range(300)]
+        buckets = ring.partition(keys)
+        assert set(buckets) == {"shard-0", "shard-1", "shard-2"}
+        assert sorted(key for bucket in buckets.values() for key in bucket) == sorted(keys)
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)], vnodes=128)
+        buckets = ring.partition([f"/topic/{i}" for i in range(2000)])
+        sizes = sorted(len(bucket) for bucket in buckets.values())
+        assert sizes[0] > 0
+        assert sizes[-1] < 2000 * 0.6  # no shard owns a supermajority
+
+    def test_preference_head_is_owner_and_nodes_distinct(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        preference = ring.preference("/topic/x", count=3)
+        assert preference[0] == ring.node_for("/topic/x")
+        assert len(preference) == len(set(preference)) == 3
+
+    def test_preference_predicts_failover(self):
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        first, second = ring.preference("/topic/x", count=2)
+        ring.remove_node(first)
+        assert ring.node_for("/topic/x") == second

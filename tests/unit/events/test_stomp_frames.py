@@ -113,3 +113,44 @@ class TestParsing:
         assert frame.require("destination") == "/t"
         with pytest.raises(StompProtocolError):
             frame.require("id")
+
+
+class TestBinarySafety:
+    """Seed-failing regressions: the frame path must be binary-safe.
+
+    The seed encoder did ``frame.body.encode("utf-8")``, so a ``bytes``
+    body crashed with AttributeError and surrogate-escaped strings (the
+    str view of non-UTF-8 bytes) crashed with UnicodeEncodeError; the
+    parser symmetrically could not decode non-UTF-8 bodies. The cluster
+    engine ships codec documents through frame bodies, so arbitrary
+    bytes must round-trip byte-exact under content-length framing.
+    """
+
+    def test_bytes_body_round_trips_byte_exact(self):
+        blob = b"\x00\xff\xfe\x00binary\x80\x9c tail\x00"
+        frame = Frame("SEND", {"destination": "/t"}, blob)
+        parsed = round_trip(frame)
+        assert parsed.body_bytes == blob
+
+    def test_non_utf8_bytes_every_value(self):
+        blob = bytes(range(256))
+        parsed = round_trip(Frame("SEND", {"destination": "/t"}, blob))
+        assert parsed.body_bytes == blob
+
+    def test_surrogate_escaped_str_body(self):
+        # The str one gets from bytes.decode("utf-8", "surrogateescape").
+        body = "prefix-\udcff\udc80-suffix"
+        frame = Frame("SEND", {"destination": "/t"}, body)
+        parsed = round_trip(frame)
+        assert parsed.body == body
+        assert parsed.body_bytes == body.encode("utf-8", "surrogateescape")
+
+    def test_wire_reencode_is_stable(self):
+        blob = b"\x00\x01\x02\xf5\xf6"
+        wire = encode_frame(Frame("SEND", {"destination": "/t"}, blob))
+        reparsed = FrameParser().feed(wire)[0]
+        assert encode_frame(Frame("SEND", {"destination": "/t"}, reparsed.body)) == wire
+
+    def test_utf8_text_still_plain_str(self):
+        parsed = round_trip(Frame("SEND", {"destination": "/t"}, "héllo ✓"))
+        assert parsed.body == "héllo ✓"
