@@ -84,6 +84,27 @@ def _is_wildcard(topic: str) -> bool:
     return "*" in topic or "#" in topic
 
 
+def cluster_context(start_method: Optional[str] = None):
+    """The multiprocessing context cluster children start under.
+
+    ``fork`` is deliberately not the default: the parent already runs
+    threads by the time a cluster starts (broker dispatcher, WAL flush,
+    the deployment's audit flusher), and forking a threaded parent can
+    hand children locks frozen mid-acquisition. ``forkserver`` forks
+    from a clean single-threaded helper where available (POSIX);
+    ``spawn`` is the portable fallback (and the only method on
+    Windows). Both are safe here because the child mains import their
+    dependencies themselves and every shipped object pickles.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    available = multiprocessing.get_all_start_methods()
+    for method in ("forkserver", "spawn"):
+        if method in available:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()
+
+
 class _RouterSubscription:
     """The Broker-surface subscription handle the engine keeps."""
 
@@ -157,6 +178,15 @@ class ClusterRouter:
             # A pattern cannot be hashed; register everywhere. Publishes
             # hash to one shard, so matching stays exactly-once.
             return self.shard_names
+        if is_dlq_topic(topic):
+            # Dead letters are published on the shard that *produced*
+            # them (an unacked in-flight delivery or an orphan tombstone
+            # dead-letters on its own local broker), which is not
+            # necessarily ring.node_for(topic). Register everywhere:
+            # router-side DLQ publishes still hash to one shard, and a
+            # shard-local publish matches only on that shard, so no path
+            # duplicates.
+            return self.shard_names
         return [self._ring.node_for(topic)]
 
     def _bridge(self, role: str, login: str, shard: str) -> StompBrokerBridge:
@@ -217,7 +247,6 @@ class ClusterRouter:
         subscription_id: Optional[str] = None,
         require_integrity: Optional[LabelSet] = None,
     ) -> _RouterSubscription:
-        deliver = self._deliver_wrapper(callback, principal)
         # Pre-warm this principal's publish links to every shard NOW,
         # while we are outside the jail: a cascade publish from inside
         # the unit's callback may target any shard, and the jail denies
@@ -229,7 +258,11 @@ class ClusterRouter:
             bridge = self._bridge("sub", principal, shard)
             bridge_sub = bridge.subscribe(
                 topic,
-                deliver,
+                # The ack must go back on the link that delivered the
+                # message — for multi-shard subscriptions (wildcards,
+                # DLQ topics) that is not ring.node_for(topic), so the
+                # wrapper binds the delivering bridge itself.
+                self._deliver_wrapper(callback, principal, bridge),
                 principal=principal,
                 selector=selector,
                 require_integrity=require_integrity,
@@ -267,11 +300,10 @@ class ClusterRouter:
 
     # -- delivery --------------------------------------------------------------
 
-    def _deliver_wrapper(self, callback, principal: str):
+    def _deliver_wrapper(self, callback, principal: str, bridge: StompBrokerBridge):
         unit_lock = self._unit_lock(principal)
 
         def deliver(transport: Event, message_id: str = "") -> None:
-            bridge = None
             try:
                 event = decode_event(
                     transport.payload or "", transport_labels=transport.labels
@@ -296,7 +328,7 @@ class ClusterRouter:
                     labels=transport.labels,
                     detail=f"{transport.topic}: {violation}",
                 )
-                self._find_sub_bridge(principal, transport).ack(message_id)
+                bridge.ack(message_id)
                 return
             except StompProtocolError:
                 # Not a cluster body — a foreign STOMP publisher on the
@@ -313,24 +345,16 @@ class ClusterRouter:
                     labels=event.labels,
                     detail=f"{event.topic}: {error!r}",
                 )
-                self._find_sub_bridge(principal, transport).nack(message_id)
+                bridge.nack(message_id)
                 return
             # Cascade durability before the ack: everything the callback
             # published must be receipt-confirmed at its shard before
             # this delivery is acknowledged — a crash in the gap yields
             # a duplicate (at-least-once), never a gap.
             self.drain(self._ack_timeout)
-            self._find_sub_bridge(principal, transport).ack(message_id)
+            bridge.ack(message_id)
 
         return deliver
-
-    def _find_sub_bridge(self, principal: str, transport: Event) -> StompBrokerBridge:
-        shard = (
-            self.shard_names[0]
-            if not self._shards
-            else self._ring.node_for(transport.topic)
-        )
-        return self._bridge("sub", principal, shard)
 
     def _transport(self, event: Event) -> Event:
         """The on-the-wire form: codec body, attribute headers, label header."""
@@ -645,6 +669,7 @@ class ClusterEngine:
         monitor_interval: float = 0.2,
         auto_restart: bool = True,
         host: str = "127.0.0.1",
+        start_method: Optional[str] = None,
     ):
         if workers < 1:
             raise SafeWebError("cluster needs at least one worker")
@@ -658,7 +683,7 @@ class ClusterEngine:
         self._monitor_interval = monitor_interval
         self._auto_restart = auto_restart
         self._host = host
-        self._ctx = multiprocessing.get_context("fork")
+        self._ctx = cluster_context(start_method)
         self._shards: Dict[str, _ChildHandle] = {}
         self._workers: Dict[str, _ChildHandle] = {}
         self._placements: Dict[str, _Placement] = {}

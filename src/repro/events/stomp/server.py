@@ -296,10 +296,21 @@ class _Connection(socketserver.BaseRequestHandler):
             # the frame either reaches a consumer that acknowledges it or
             # lands on the unit's DLQ; it cannot vanish with the socket.
             def deliver(event: Event, _client_id=client_id) -> None:
-                if self.closed:
-                    # Raced a dying connection: the cleanup sweep may
-                    # already have drained the unacked map, so registering
-                    # now could lose the event. Dead-letter it directly.
+                message = event_to_message(event, _client_id)
+                delivery_id = f"{event.event_id}.{next(self._delivery_ids)}"
+                message.headers["message-id"] = delivery_id
+                # The closed check and the registration are one atomic
+                # step against _cleanup, which flips ``closed`` and
+                # drains the map under this same lock: either this entry
+                # is registered before the sweep (and the sweep
+                # dead-letters it) or the connection is already closed
+                # here — registering on a dead connection would mean the
+                # event is never sent, never acked, never swept.
+                with self._unacked_lock:
+                    registered = not self.closed
+                    if registered:
+                        self.unacked[delivery_id] = (_client_id, event)
+                if not registered:
                     self.server.dead_letter_unacked(
                         self.principal or "anonymous",
                         event,
@@ -307,11 +318,6 @@ class _Connection(socketserver.BaseRequestHandler):
                         reason="delivered to a closed connection",
                     )
                     return
-                message = event_to_message(event, _client_id)
-                delivery_id = f"{event.event_id}.{next(self._delivery_ids)}"
-                message.headers["message-id"] = delivery_id
-                with self._unacked_lock:
-                    self.unacked[delivery_id] = (_client_id, event)
                 self._send(message)
 
         else:
@@ -341,12 +347,22 @@ class _Connection(socketserver.BaseRequestHandler):
             self.server.adopt_orphan(principal, destination)
 
     def _on_ack(self, frame: Frame) -> None:
-        self._require_connected()
+        principal = self._require_connected()
         message_id = frame.require("message-id")
         with self._unacked_lock:
             entry = self.unacked.pop(message_id, None)
         if entry is None:
-            raise StompProtocolError(f"unknown or already-acked message {message_id!r}")
+            # Expected under at-least-once: a consumer may ack after its
+            # old connection's entries were already swept to the DLQ
+            # (e.g. a bridge that reconnected mid-delivery). An ERROR
+            # frame here would fail the client's next unrelated RECEIPT
+            # wait, so record it and move on.
+            self.server.audit.denied(
+                "stomp",
+                "ack",
+                principal,
+                detail=f"stale or duplicate ACK for {message_id!r} ignored",
+            )
 
     def _on_nack(self, frame: Frame) -> None:
         """A consumer refusing an event dead-letters it immediately."""
@@ -355,7 +371,15 @@ class _Connection(socketserver.BaseRequestHandler):
         with self._unacked_lock:
             entry = self.unacked.pop(message_id, None)
         if entry is None:
-            raise StompProtocolError(f"unknown or already-acked message {message_id!r}")
+            # Same as a stale ACK: the in-flight entry was already acked
+            # or dead-lettered elsewhere — nothing left to refuse.
+            self.server.audit.denied(
+                "stomp",
+                "nack",
+                principal,
+                detail=f"stale or duplicate NACK for {message_id!r} ignored",
+            )
+            return
         _client_id, event = entry
         self.server.dead_letter_unacked(
             principal, event, message_id, reason="consumer NACK"
@@ -386,7 +410,10 @@ class _Connection(socketserver.BaseRequestHandler):
         self.outgoing.put(frame)
 
     def _cleanup(self) -> None:
-        self.closed = True
+        # Under the lock so no delivery can observe ``closed`` False and
+        # then register after the sweep below has drained the map.
+        with self._unacked_lock:
+            self.closed = True
         # Tombstones go up BEFORE the real subscriptions come down: an
         # event published in the gap matches the tombstone and lands on
         # the unit's DLQ instead of fanning out to nobody. Until the

@@ -94,6 +94,56 @@ PORTAL_TEMPLATES.register("front-page", FRONT_PAGE_SOURCE)
 PORTAL_TEMPLATES.register("compare-page", COMPARE_SOURCE)
 
 
+def sanitize_probe(report: dict) -> dict:
+    """The public face of the deployment health probe.
+
+    ``/metrics`` is served unauthenticated, so the full probe report —
+    which in cluster mode names units, unit-to-worker placements and
+    per-link ``role:login:shard`` keys — would hand internal principals
+    and topology to anonymous callers. Reduce everything to counters
+    and booleans: names become counts, link maps become alive/total
+    rollups.
+    """
+    engine = report.get("engine") or {}
+    safe = {
+        "healthy": bool(report.get("healthy", False)),
+        "engine": {
+            "parallel": engine.get("parallel"),
+            "units": len(engine.get("units") or ()),
+            "stats": engine.get("stats"),
+        },
+        "broker": report.get("broker"),
+        "cluster": None,
+    }
+    cluster = report.get("cluster")
+    if cluster:
+        workers = cluster.get("workers") or {}
+        shards = cluster.get("shards") or {}
+        router = cluster.get("router") or {}
+        links = router.get("bridges") or {}
+        safe["cluster"] = {
+            "healthy": bool(cluster.get("healthy", False)),
+            "workers_alive": sum(1 for alive in workers.values() if alive),
+            "workers_total": len(workers),
+            "shards_alive": sum(1 for alive in shards.values() if alive),
+            "shards_total": len(shards),
+            "placements": len(cluster.get("placements") or {}),
+            "router": {
+                "healthy": bool(router.get("healthy", False)),
+                "links_connected": sum(
+                    1 for link in links.values() if link.get("connected")
+                ),
+                "links_total": len(links),
+                "published": router.get("published", 0),
+                "delivered": router.get("delivered", 0),
+                "errors": router.get("errors", 0),
+                "dead_lettered": router.get("dead_lettered", 0),
+                "dlq_ledger": router.get("dlq_ledger", 0),
+            },
+        }
+    return safe
+
+
 def build_portal(
     app_db: Database,
     webdb: WebDatabase,
@@ -128,9 +178,9 @@ def build_portal(
     authenticator = authenticator_cls(webdb)
     public_paths = {"/health"}
     if health_probe is not None:
-        # Operational counters only (link states, queue depths) — no
-        # patient data flows through the probe, so it sits beside
-        # /health on the unauthenticated monitoring surface.
+        # Sits beside /health on the unauthenticated monitoring surface;
+        # the route serves sanitize_probe(health_probe()) — counters and
+        # booleans only, no unit names, placements or link principals.
         public_paths.add("/metrics")
     if sessions:
         public_paths.add("/login")
@@ -226,8 +276,9 @@ def build_portal(
         @app.get("/metrics")
         def operational_metrics(request: Request):
             # The deployment's health probe: engine/broker counters and,
-            # in cluster mode, per-link StompBrokerBridge.probe() rollups.
-            report = health_probe()
+            # in cluster mode, per-link StompBrokerBridge.probe() rollups
+            # — redacted to counters/booleans for the anonymous surface.
+            report = sanitize_probe(health_probe())
             status = 200 if report.get("healthy", False) else 503
             return Response(
                 json.dumps(report, default=str, sort_keys=True),

@@ -66,6 +66,17 @@ class TestClusteredPipeline:
         assert report["healthy"] is True
         # Operational counters only — no patient identifiers leak out.
         assert "nhs" not in response.text.lower()
+        # ... and no internal topology either: the anonymous surface
+        # must not name units, placements or role:login:shard links.
+        assert "data_aggregator" not in response.text
+        assert "worker-" not in response.text
+        assert "shard-" not in response.text
+        cluster = report["cluster"]
+        assert cluster["workers_alive"] == cluster["workers_total"]
+        assert cluster["shards_alive"] == cluster["shards_total"]
+        assert cluster["placements"] >= 1
+        assert "bridges" not in cluster["router"]
+        assert cluster["router"]["links_connected"] >= 1
 
     def test_portal_still_serves_authenticated_users(self, pipelines):
         _, clustered = pipelines

@@ -220,6 +220,34 @@ class TestPubSub:
         publisher.disconnect()
         subscriber.disconnect()
 
+    def test_stale_ack_is_a_no_op_not_an_error(self, server):
+        """A duplicate/stale ACK is legal under at-least-once (a worker
+        may ack after its old connection's entries were dead-lettered).
+        It must not produce an out-of-band ERROR frame: the client's
+        next receipt wait would pop it and fail an unrelated, perfectly
+        successful operation."""
+        consumer = connect(server)
+        producer = connect(server, login="data_producer")
+        deliveries = []
+        consumer.subscribe(
+            "/patient_report",
+            lambda event, message_id="": deliveries.append(message_id),
+            ack="client",
+        )
+        producer.send("/patient_report", payload="one", receipt=True)
+        assert wait_for(lambda: len(deliveries) == 1)
+        consumer.ack(deliveries[0])
+        consumer.ack(deliveries[0])  # stale: already acked above
+        consumer.ack("no-such-delivery")  # never existed
+        # The next receipt-confirmed operation on this connection must
+        # succeed — before the fix it raised with the queued ERROR.
+        consumer.send("/patient_report", payload="two", receipt=True)
+        assert wait_for(lambda: len(deliveries) == 2)
+        consumer.ack(deliveries[1])
+        assert consumer.connected
+        producer.disconnect()
+        consumer.disconnect()
+
     def test_bad_selector_reports_error(self, server):
         subscriber = connect(server)
         with pytest.raises(SafeWebError):

@@ -291,7 +291,12 @@ class TestWorkerKillChaos:
 
     TOTAL = 30
 
-    def test_no_event_lost_across_worker_death(self):
+    # shards=2 is the regression half: a shard dead-letters an unacked
+    # in-flight event on its *own* broker, which is not the shard the
+    # DLQ topic hashes to — the router's DLQ subscription must span
+    # every shard or these deliveries silently miss the observer.
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_no_event_lost_across_worker_death(self, shards):
         specs = [make_spec("feeder", "/work", "forward")]
         policy = build_policy(specs)
         # The parent-side tap and the DLQ observer need clearance too.
@@ -304,7 +309,7 @@ class TestWorkerKillChaos:
         cluster = ClusterEngine(
             policy,
             workers=2,
-            shards=1,
+            shards=shards,
             audit=AuditLog(),
             supervision=SupervisionPolicy(),
         ).start()
