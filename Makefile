@@ -1,15 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: help test test-unit test-security test-cluster bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench-supervision bench-cluster bench docs-check
+.PHONY: help test test-unit test-security test-cluster bench-smoke bench-broker bench-taint bench-storage bench-durability bench-web bench-pipeline bench-supervision bench-cluster bench docs-check lint-ifc typecheck
 
 ## Show every target with its description.
 help:
 	@awk '/^## /{desc=substr($$0,4); next} /^[A-Za-z0-9_.-]+:/{if (desc) printf "  %-14s %s\n", substr($$1,1,length($$1)-1), desc; desc=""}' $(MAKEFILE_LIST)
 
 ## Tier-1: the full suite (unit + property + integration + benchmark smoke).
-test: docs-check
+test: docs-check lint-ifc
 	$(PYTHON) -m pytest -x -q
+
+## Static IFC/taint/lock-order analysis; fails on any finding in src/.
+lint-ifc:
+	$(PYTHON) scripts/analyze.py src/repro
+
+## mypy over the strict-typed packages (skips cleanly if mypy is absent).
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy --config-file mypy.ini src/repro/core src/repro/taint \
+		|| echo "mypy not installed; skipping typecheck (CI runs it)"
 
 ## Fast feedback: unit and property tests only.
 test-unit:

@@ -21,6 +21,10 @@ measures each component on the real MDT deployment:
   enforcement is enabled).
 """
 
+# ifc: allow-file[ifc-checks-disabled] -- ablation harness: isolates the
+# cost of each enforcement tier by rebuilding the deployment with that
+# tier switched off; production code never disables enforcement.
+
 from __future__ import annotations
 
 import time

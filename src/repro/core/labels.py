@@ -87,7 +87,7 @@ class Label:
         weakref.WeakValueDictionary()
     )
 
-    def __new__(cls, kind: str, authority: str, path: Iterable[str] = ()):
+    def __new__(cls, kind: str, authority: str, path: Iterable[str] = ()) -> "Label":
         if not isinstance(path, tuple):
             # Accept any iterable of path segments for convenience.
             path = tuple(path)
@@ -114,10 +114,10 @@ class Label:
         cls._intern[key] = instance
         return instance
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Label instances are immutable")
 
-    def __delattr__(self, name):
+    def __delattr__(self, name: str) -> None:
         raise AttributeError("Label instances are immutable")
 
     @property
@@ -150,7 +150,7 @@ class Label:
             and other.path[: len(self.path)] == self.path
         )
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if self is other:
             # Interning makes identity the common-case answer.
             return True
@@ -165,14 +165,14 @@ class Label:
     def __hash__(self) -> int:
         return self._hash
 
-    def __reduce__(self):
+    def __reduce__(self) -> "Tuple[type, Tuple[str, str, Tuple[str, ...]]]":
         # Re-intern on unpickle so canonical identity survives transport.
         return (Label, (self.kind, self.authority, self.path))
 
     def __copy__(self) -> "Label":
         return self
 
-    def __deepcopy__(self, memo) -> "Label":
+    def __deepcopy__(self, memo: object) -> "Label":
         return self
 
     def __str__(self) -> str:
@@ -210,7 +210,7 @@ def parse_label(uri: str) -> Label:
     return Label(match.group("kind"), match.group("authority"), path)
 
 
-def _coerce(value) -> Label:
+def _coerce(value: object) -> Label:
     if isinstance(value, Label):
         return value
     if isinstance(value, str):
@@ -247,7 +247,7 @@ class LabelSet:
         weakref.WeakValueDictionary()
     )
 
-    def __new__(cls, labels: "LabelSet | Iterable[Label | str]" = ()):
+    def __new__(cls, labels: "LabelSet | Iterable[Label | str]" = ()) -> "LabelSet":
         if isinstance(labels, LabelSet):
             return labels
         frozen = frozenset(
@@ -418,7 +418,7 @@ class LabelSet:
     def __len__(self) -> int:
         return len(self._labels)
 
-    def __contains__(self, label) -> bool:
+    def __contains__(self, label: object) -> bool:
         try:
             return _coerce(label) in self._labels
         except LabelError:
@@ -427,7 +427,7 @@ class LabelSet:
     def __bool__(self) -> bool:
         return bool(self._labels)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if self is other:
             # Interned: equal sets are the same object.
             return True
@@ -451,14 +451,14 @@ class LabelSet:
         uris = ", ".join(self.to_uris())
         return f"LabelSet({{{uris}}})"
 
-    def __reduce__(self):
+    def __reduce__(self) -> "Tuple[type, Tuple[Tuple[Label, ...]]]":
         # Re-intern on unpickle; Labels re-intern through their own reduce.
         return (LabelSet, (tuple(self._labels),))
 
     def __copy__(self) -> "LabelSet":
         return self
 
-    def __deepcopy__(self, memo) -> "LabelSet":
+    def __deepcopy__(self, memo: object) -> "LabelSet":
         return self
 
     # -- serialisation -----------------------------------------------------

@@ -37,6 +37,8 @@ that delegates at runtime; :class:`LabelManager` implements that extension.
 
 from __future__ import annotations
 
+import os
+
 import json
 import threading
 from dataclasses import dataclass, field
@@ -283,7 +285,7 @@ def parse_policy_document(text: str) -> PolicyDocument:
     return document
 
 
-def load_policy(path) -> Policy:
+def load_policy(path: "str | os.PathLike[str]") -> Policy:
     """Load a policy from a ``.policy`` (text) or ``.json`` file."""
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()

@@ -29,7 +29,7 @@ class Principal:
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Principal):
             return NotImplemented
         return (

@@ -71,7 +71,7 @@ class Privilege:
         """True when this grant covers *label* (exactly or hierarchically)."""
         return self.label.is_ancestor_of(label)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Privilege):
             return NotImplemented
         return self.kind == other.kind and self.label == other.label
@@ -276,7 +276,7 @@ class PrivilegeSet:
 
     # -- protocol ------------------------------------------------------------
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, PrivilegeSet):
             return NotImplemented
         return self._grants == other._grants

@@ -1,0 +1,65 @@
+"""The analyzer's standing contract: the clean SafeWeb tree has zero findings.
+
+Real violations get fixed, not suppressed; the only sanctioned
+suppressions are in seed reference modules that intentionally embody
+the pre-SafeWeb semantics (the ablation benchmarks), and each must
+carry a reason.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis.findings import _SUPPRESS_RE
+from repro.analysis.framework import CORPUS_MODULES, analyze
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SRC = REPO_ROOT / "src"
+
+
+def test_clean_tree_has_zero_findings():
+    findings = analyze([SRC / "repro"], root=SRC)
+    rendered = "\n".join(finding.render() for finding in findings)
+    assert findings == [], f"unexpected analyzer findings:\n{rendered}"
+
+
+def test_corpus_is_excluded_by_default_but_analyzable_on_demand():
+    explicit = analyze(
+        [SRC / "repro" / "mdt" / "vulnerabilities.py"], root=SRC, exclude=()
+    )
+    assert explicit, "the corpus must produce findings when analyzed explicitly"
+    default = analyze([SRC / "repro" / "mdt"], root=SRC)
+    assert [f for f in default if f.path.endswith("vulnerabilities.py")] == []
+    assert CORPUS_MODULES == ("repro/mdt/vulnerabilities.py",)
+
+
+def _scannable_modules():
+    """Everything under src/repro except the analyzer itself, whose
+    docstrings and CLI help quote the suppression syntax as documentation."""
+    for path in sorted((SRC / "repro").rglob("*.py")):
+        if "repro/analysis/" not in path.as_posix():
+            yield path
+
+
+def test_every_suppression_in_src_carries_a_reason():
+    for path in _scannable_modules():
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            assert match.group("reason"), (
+                f"{path}:{lineno}: suppression without a reason "
+                f"(add '-- why this is safe')"
+            )
+
+
+def test_suppressions_are_confined_to_sanctioned_modules():
+    allowed = {"repro/bench/breakdown.py"}
+    offenders = set()
+    for path in _scannable_modules():
+        if _SUPPRESS_RE.search(path.read_text()):
+            rel = path.relative_to(SRC).as_posix()
+            if rel not in allowed:
+                offenders.add(rel)
+    assert offenders == set(), (
+        f"new suppressions outside the sanctioned ablation modules: {offenders}"
+    )
